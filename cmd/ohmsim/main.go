@@ -1,0 +1,107 @@
+// Command ohmsim runs one Ohm-GPU platform on one Table II workload and
+// prints the full measurement report: IPC, memory latency, channel
+// bandwidth split, migrations, cache behaviour and the energy breakdown.
+//
+// Usage:
+//
+//	ohmsim -platform ohm-bw -mode planar -workload pagerank
+//	ohmsim -platform oracle -mode two-level -workload lud -instr 40000
+//	ohmsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+var platformNames = map[string]config.Platform{
+	"origin":   config.Origin,
+	"hetero":   config.Hetero,
+	"ohm-base": config.OhmBase,
+	"auto-rw":  config.AutoRW,
+	"ohm-wom":  config.OhmWOM,
+	"ohm-bw":   config.OhmBW,
+	"oracle":   config.Oracle,
+}
+
+func main() {
+	platform := flag.String("platform", "ohm-bw", "platform: origin|hetero|ohm-base|auto-rw|ohm-wom|ohm-bw|oracle")
+	mode := flag.String("mode", "planar", "memory mode: planar|two-level")
+	workload := flag.String("workload", "pagerank", "Table II workload name")
+	instr := flag.Int("instr", 0, "instructions per warp (0 = default 20000)")
+	waveguides := flag.Int("waveguides", 0, "optical waveguides (0 = default 1)")
+	list := flag.Bool("list", false, "list platforms, modes and workloads, then exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("platforms: origin hetero ohm-base auto-rw ohm-wom ohm-bw oracle")
+		fmt.Println("modes:     planar two-level")
+		fmt.Printf("workloads: %s\n", strings.Join(config.WorkloadNames(), " "))
+		return
+	}
+
+	p, ok := platformNames[strings.ToLower(*platform)]
+	if !ok {
+		fatalf("unknown platform %q (try -list)", *platform)
+	}
+	var m config.MemMode
+	switch strings.ToLower(*mode) {
+	case "planar":
+		m = config.Planar
+	case "two-level", "twolevel", "2lm":
+		m = config.TwoLevel
+	default:
+		fatalf("unknown mode %q (planar|two-level)", *mode)
+	}
+
+	cfg := config.Default(p, m)
+	if *instr > 0 {
+		cfg.MaxInstructions = *instr
+	}
+	if *waveguides > 0 {
+		cfg.Optical.Waveguides = *waveguides
+	}
+
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep, err := sys.RunWorkload(*workload)
+	if err != nil {
+		fatalf("%v (try -list)", err)
+	}
+
+	fmt.Printf("platform       %s\n", p)
+	fmt.Printf("mode           %s\n", m)
+	fmt.Printf("workload       %s\n", *workload)
+	fmt.Printf("elapsed        %s\n", rep.Elapsed)
+	fmt.Printf("IPC            %.3f\n", rep.IPC)
+	fmt.Printf("mem latency    %s (p99 %s)\n", rep.MeanLatency, rep.P99Latency)
+	fmt.Printf("mem requests   %d (%d reads / %d writes at MC)\n",
+		rep.MemRequests, sys.Col.Reads, sys.Col.Writes)
+	fmt.Printf("migrations     %d (%.1f MiB moved, %.1f MiB via dual routes)\n",
+		rep.Migrations, float64(sys.Col.MigratedBytes)/(1<<20), float64(sys.Col.DualRouteBytes)/(1<<20))
+	fmt.Printf("channel        regular %.1f MiB, copy %.1f MiB (copy busy fraction %.1f%%)\n",
+		float64(rep.RegularBytes)/(1<<20), float64(rep.CopyBytes)/(1<<20), 100*rep.CopyFraction)
+	fmt.Printf("caches         L1 %.1f%%, L2 %.1f%% hit\n",
+		100*rep.Extra["l1-hit-rate"], 100*rep.Extra["l2-hit-rate"])
+	fmt.Printf("devices        DRAM %d r / %d w; XPoint %d r / %d w\n",
+		sys.Mem.DRAMReads, sys.Mem.DRAMWrites, sys.Mem.XPointReads, sys.Mem.XPointWrites)
+	fmt.Println("energy (pJ):")
+	total := rep.TotalEnergyPJ()
+	for _, k := range sys.Col.EnergyComponents() {
+		v := rep.EnergyPJ[k]
+		fmt.Printf("  %-14s %14.0f (%.1f%%)\n", k, v, 100*v/total)
+	}
+	fmt.Printf("  %-14s %14.0f\n", "total", total)
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ohmsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,196 @@
+// Package cache implements the set-associative caches of the baseline GPU
+// (per-SM L1D and the shared L2, Figure 2). The model is functional +
+// timing-annotated: lookups report hit/miss and evicted dirty victims; the
+// GPU model charges the configured latencies and forwards misses down the
+// hierarchy.
+package cache
+
+import "fmt"
+
+// line is one cache line's bookkeeping.
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // last-touch stamp; larger = more recent
+}
+
+// Cache is a blocking set-associative write-back cache with LRU replacement.
+// Addresses are byte addresses; the cache operates on aligned lines.
+type Cache struct {
+	name      string
+	lineBytes int
+	sets      int
+	ways      int
+	lines     []line // sets*ways, row-major by set
+	stamp     uint64
+
+	Hits   uint64
+	Misses uint64
+	// Evictions counts dirty write-backs produced by fills.
+	Evictions uint64
+}
+
+// New builds a cache of size bytes with the given associativity and line
+// size. Size must divide evenly into sets of full associativity.
+func New(name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		return nil, fmt.Errorf("cache %s: non-positive geometry (%d/%d/%d)", name, sizeBytes, ways, lineBytes)
+	}
+	if lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", name, lineBytes)
+	}
+	nLines := sizeBytes / lineBytes
+	if nLines == 0 || nLines%ways != 0 {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible into %d ways", name, nLines, ways)
+	}
+	// Set counts need not be powers of two: indexing is modulo, which is
+	// what real non-power-of-two LLCs (e.g. 6 MB shared L2) do.
+	sets := nLines / ways
+	return &Cache{
+		name:      name,
+		lineBytes: lineBytes,
+		sets:      sets,
+		ways:      ways,
+		lines:     make([]line, nLines),
+	}, nil
+}
+
+// MustNew is New that panics; used for configurations already validated by
+// config.Validate.
+func MustNew(name string, sizeBytes, ways, lineBytes int) *Cache {
+	c, err := New(name, sizeBytes, ways, lineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Name returns the diagnostic name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / uint64(c.lineBytes)
+	return int(lineAddr % uint64(c.sets)), lineAddr / uint64(c.sets)
+}
+
+// Result describes the outcome of an access.
+type Result struct {
+	Hit bool
+	// Writeback holds the byte address of a dirty victim that must be
+	// written to the next level; WritebackValid reports whether one exists.
+	Writeback      uint64
+	WritebackValid bool
+}
+
+// Access performs a read (write=false) or write (write=true) of the line
+// containing addr, filling on miss. Dirty victims are reported, not
+// silently dropped — the caller owns the write-back traffic.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	c.stamp++
+
+	// Hit path.
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			l.lru = c.stamp
+			if write {
+				l.dirty = true
+			}
+			c.Hits++
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: choose victim = invalid way or LRU.
+	c.Misses++
+	victim := base
+	var oldest uint64 = ^uint64(0)
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if !l.valid {
+			victim = base + i
+			oldest = 0
+			break
+		}
+		if l.lru < oldest {
+			oldest = l.lru
+			victim = base + i
+		}
+	}
+
+	var res Result
+	v := &c.lines[victim]
+	if v.valid && v.dirty {
+		res.WritebackValid = true
+		res.Writeback = c.victimAddr(set, v.tag)
+		c.Evictions++
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	return res
+}
+
+// Probe reports whether addr currently hits, without touching LRU state or
+// counters. Used by tests and by the two-level controller's tag check model.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the line containing addr if present, reporting whether it
+// was dirty (the caller must then write it back).
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for i := 0; i < c.ways; i++ {
+		l := &c.lines[base+i]
+		if l.valid && l.tag == tag {
+			d := l.dirty
+			*l = line{}
+			return true, d
+		}
+	}
+	return false, false
+}
+
+// victimAddr reconstructs a victim's byte address from set and tag.
+func (c *Cache) victimAddr(set int, tag uint64) uint64 {
+	lineAddr := tag*uint64(c.sets) + uint64(set)
+	return lineAddr * uint64(c.lineBytes)
+}
+
+// HitRate returns hits/(hits+misses), or 0 when untouched.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	c.stamp = 0
+	c.Hits, c.Misses, c.Evictions = 0, 0, 0
+}

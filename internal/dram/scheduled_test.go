@@ -1,0 +1,89 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+func TestAccessScheduledDoesNotBlockDemand(t *testing.T) {
+	d := dev()
+	// A migration write scheduled far in the future...
+	future := 10 * sim.Microsecond
+	d.AccessScheduled(future, 0, true)
+	// ...must not delay a demand access to the same bank issued now.
+	done := d.Access(0, 0, false)
+	if done >= future {
+		t.Fatalf("demand access blocked until %s by a future scheduled op", done)
+	}
+}
+
+func TestAccessScheduledExactWindow(t *testing.T) {
+	cfg := config.DefaultDRAM()
+	d := New(cfg)
+	done := d.AccessScheduled(1000, 0, false)
+	want := sim.Time(1000) + cfg.TRCD + cfg.TCL + cfg.BurstNs
+	if done != want {
+		t.Fatalf("scheduled cold access done %s, want %s", done, want)
+	}
+	if d.Reads != 1 {
+		t.Fatal("scheduled access not counted")
+	}
+}
+
+func TestAccessScheduledUpdatesRowState(t *testing.T) {
+	d := dev()
+	d.AccessScheduled(0, 0, true)
+	if !d.RowOpen(0) {
+		t.Fatal("scheduled access must open the row")
+	}
+	// The following demand access to the same row is a row hit.
+	cfg := config.DefaultDRAM()
+	done := d.Access(cfg.TRCD+cfg.TCL+cfg.BurstNs, 128, false)
+	if done-(cfg.TRCD+cfg.TCL+cfg.BurstNs) != cfg.TCL+cfg.BurstNs {
+		t.Fatalf("post-scheduled access not a row hit: %s", done)
+	}
+}
+
+func TestPresetDoesNotQueue(t *testing.T) {
+	d := dev()
+	// Occupy the bank far into the future, then preset: the preset is a
+	// controller-arbitrated operation and books its own window.
+	d.AccessScheduled(10*sim.Microsecond, 0, true)
+	ready := d.Preset(0, uint64(config.DefaultDRAM().RowBytes)*uint64(config.DefaultDRAM().Banks))
+	if ready > sim.Microsecond {
+		t.Fatalf("preset queued until %s", ready)
+	}
+}
+
+func TestRefreshDelaysAccesses(t *testing.T) {
+	cfg := config.DefaultDRAM()
+	cfg.RefreshEnable = true
+	d := New(cfg)
+	// An access inside the refresh window waits for it; afterwards the row
+	// is closed (refresh precharges all banks).
+	done := d.Access(0, 0, false) // t=0 is inside the first tRFC window
+	floor := cfg.RefreshDuration + cfg.TRCD + cfg.TCL + cfg.BurstNs
+	if done < floor {
+		t.Fatalf("refresh-window access done %s, want >= %s", done, floor)
+	}
+	if d.Refreshes == 0 {
+		t.Fatal("refresh not counted")
+	}
+	// An access between refresh windows proceeds normally.
+	mid := cfg.RefreshInterval / 2
+	d2 := New(cfg)
+	done2 := d2.Access(mid, 0, false)
+	if done2-mid != cfg.TRCD+cfg.TCL+cfg.BurstNs {
+		t.Fatalf("mid-interval access latency %s", done2-mid)
+	}
+}
+
+func TestRefreshDisabledByDefault(t *testing.T) {
+	d := dev()
+	d.Access(0, 0, false)
+	if d.Refreshes != 0 {
+		t.Fatal("refresh fired while disabled")
+	}
+}

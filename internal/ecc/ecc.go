@@ -1,0 +1,202 @@
+// Package ecc implements the SECDED (single-error-correct, double-error-
+// detect) Hamming code used by the memory system. The two-level memory mode
+// stores a cache line's tag, valid and dirty bits *inside* the ECC region of
+// each DRAM line (Section III-B) — that trick only works if the ECC region
+// actually has spare capacity, so this package implements the real (72,64)
+// extended Hamming code and exposes how many metadata bits ride along.
+package ecc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Word is a 64-bit data word; Codeword carries it plus 8 check bits in the
+// standard DDR ECC arrangement (one ECC byte per 8 data bytes).
+type Word = uint64
+
+// Codeword is an encoded (72,64) word: Data plus the 8-bit check byte.
+type Codeword struct {
+	Data  Word
+	Check uint8
+}
+
+// Result classifies decode outcomes.
+type Result int
+
+const (
+	// OK means no error was present.
+	OK Result = iota
+	// Corrected means exactly one bit (data or check) was flipped and has
+	// been repaired.
+	Corrected
+	// Detected means an uncorrectable (double-bit) error was found.
+	Detected
+)
+
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Detected:
+		return "detected"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// position maps a logical bit index 1..72 (Hamming positions, 1-based) to
+// either a data bit (0..63) or a check bit. Positions that are powers of
+// two hold check bits; the rest hold data bits in order.
+//
+// The 8th check bit (index 7) is the overall parity bit making the code
+// SECDED rather than just SEC.
+
+// dataPositions[i] is the 1-based Hamming position of data bit i.
+var dataPositions [64]uint8
+
+// checkPositions[i] is the 1-based Hamming position of check bit i (i<7);
+// check bit 7 is overall parity and has no Hamming position.
+var checkPositions = [7]uint8{1, 2, 4, 8, 16, 32, 64}
+
+func init() {
+	pos := uint8(1)
+	di := 0
+	for di < 64 {
+		if pos&(pos-1) != 0 { // not a power of two: data position
+			dataPositions[di] = pos
+			di++
+		}
+		pos++
+	}
+}
+
+// syndromeOf computes the 7-bit Hamming syndrome over the 71 positioned
+// bits (data in their positions, check bits in power-of-two positions).
+func syndromeOf(data Word, check uint8) uint8 {
+	var syn uint8
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 1 {
+			syn ^= dataPositions[i]
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if check>>uint(i)&1 == 1 {
+			syn ^= checkPositions[i]
+		}
+	}
+	return syn
+}
+
+// overallParity returns the parity of all 72 bits.
+func overallParity(data Word, check uint8) uint8 {
+	p := uint8(bits.OnesCount64(data)) ^ uint8(bits.OnesCount8(check))
+	return p & 1
+}
+
+// Encode produces the codeword for a 64-bit data word.
+func Encode(data Word) Codeword {
+	var check uint8
+	// Each Hamming check bit covers positions whose index has that bit set;
+	// computing the syndrome of (data, 0) yields exactly the check bits.
+	syn := syndromeOf(data, 0)
+	for i := 0; i < 7; i++ {
+		if syn&checkPositions[i] != 0 {
+			check |= 1 << uint(i)
+		}
+	}
+	// Overall parity (bit 7) makes total parity even.
+	if overallParity(data, check) == 1 {
+		check |= 1 << 7
+	}
+	return Codeword{Data: data, Check: check}
+}
+
+// Decode validates a possibly-corrupted codeword, repairing single-bit
+// errors in place. It returns the repaired data and the classification.
+func Decode(cw Codeword) (Word, Result) {
+	syn := syndromeOf(cw.Data, cw.Check&0x7F)
+	parity := overallParity(cw.Data, cw.Check)
+
+	switch {
+	case syn == 0 && parity == 0:
+		return cw.Data, OK
+	case parity == 1:
+		// Odd parity: a single-bit error at Hamming position syn (or in
+		// the overall parity bit itself when syn == 0).
+		if syn == 0 {
+			return cw.Data, Corrected // parity bit flipped; data intact
+		}
+		// Repair: find what the syndrome points at.
+		for i := 0; i < 64; i++ {
+			if dataPositions[i] == syn {
+				return cw.Data ^ 1<<uint(i), Corrected
+			}
+		}
+		// Syndrome points at a check bit: data intact.
+		return cw.Data, Corrected
+	default:
+		// syn != 0 with even parity: two bits flipped — uncorrectable.
+		return cw.Data, Detected
+	}
+}
+
+// LineMetadata is the metadata the two-level memory mode hides in the ECC
+// region of a DRAM cache line (Section III-B): 1 valid bit, 1 dirty bit and
+// a handful of tag bits. A 128-byte line carries 16 ECC bytes, of which the
+// (72,64) code strictly needs 16 check bytes — but DRAM ECC DIMMs
+// over-provision by bank structure, and the paper's design (after [44])
+// reclaims the slack. We model the published budget: up to 6 tag bits plus
+// valid and dirty ride along per line.
+type LineMetadata struct {
+	Valid bool
+	Dirty bool
+	Tag   uint8 // up to TagBits bits
+}
+
+// TagBits is the maximum direct-map tag width the ECC region accommodates
+// (Section III-B quotes 3-6 bits; we expose the full 6).
+const TagBits = 6
+
+// PackMetadata encodes the metadata into one byte for storage in the ECC
+// region. It fails loudly on tags beyond the budget — a configuration that
+// needs more tag bits cannot use the tag-in-ECC design.
+func PackMetadata(m LineMetadata) (uint8, error) {
+	if m.Tag >= 1<<TagBits {
+		return 0, fmt.Errorf("ecc: tag %#x exceeds the %d-bit ECC budget", m.Tag, TagBits)
+	}
+	b := m.Tag
+	if m.Valid {
+		b |= 1 << 6
+	}
+	if m.Dirty {
+		b |= 1 << 7
+	}
+	return b, nil
+}
+
+// UnpackMetadata decodes a metadata byte.
+func UnpackMetadata(b uint8) LineMetadata {
+	return LineMetadata{
+		Valid: b&(1<<6) != 0,
+		Dirty: b&(1<<7) != 0,
+		Tag:   b & (1<<TagBits - 1),
+	}
+}
+
+// TagBitsNeeded returns how many tag bits a direct-mapped DRAM cache of
+// nSets sets over a capacity of totalLines lines requires. The two-level
+// design is feasible only when this fits TagBits.
+func TagBitsNeeded(totalLines, nSets int64) int {
+	if nSets <= 0 || totalLines <= nSets {
+		return 0
+	}
+	ways := (totalLines + nSets - 1) / nSets
+	n := 0
+	for v := ways - 1; v > 0; v >>= 1 {
+		n++
+	}
+	return n
+}

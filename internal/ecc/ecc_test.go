@@ -1,0 +1,171 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeClean(t *testing.T) {
+	for _, d := range []Word{0, 1, 0xFFFFFFFFFFFFFFFF, 0xDEADBEEFCAFEF00D, 1 << 63} {
+		cw := Encode(d)
+		got, res := Decode(cw)
+		if res != OK || got != d {
+			t.Errorf("Decode(Encode(%#x)) = (%#x, %s)", d, got, res)
+		}
+	}
+}
+
+func TestSingleBitDataErrorsCorrected(t *testing.T) {
+	d := Word(0xA5A5_5A5A_0F0F_F0F0)
+	cw := Encode(d)
+	for bit := 0; bit < 64; bit++ {
+		bad := cw
+		bad.Data ^= 1 << uint(bit)
+		got, res := Decode(bad)
+		if res != Corrected {
+			t.Fatalf("bit %d: result %s, want corrected", bit, res)
+		}
+		if got != d {
+			t.Fatalf("bit %d: repaired to %#x, want %#x", bit, got, d)
+		}
+	}
+}
+
+func TestSingleBitCheckErrorsCorrected(t *testing.T) {
+	d := Word(0x0123_4567_89AB_CDEF)
+	cw := Encode(d)
+	for bit := 0; bit < 8; bit++ {
+		bad := cw
+		bad.Check ^= 1 << uint(bit)
+		got, res := Decode(bad)
+		if res != Corrected || got != d {
+			t.Fatalf("check bit %d: (%#x, %s)", bit, got, res)
+		}
+	}
+}
+
+func TestDoubleBitErrorsDetected(t *testing.T) {
+	d := Word(0xFEED_FACE_BEEF_1234)
+	cw := Encode(d)
+	cases := [][2]int{{0, 1}, {5, 40}, {63, 62}, {0, 63}, {17, 31}}
+	for _, c := range cases {
+		bad := cw
+		bad.Data ^= 1 << uint(c[0])
+		bad.Data ^= 1 << uint(c[1])
+		_, res := Decode(bad)
+		if res != Detected {
+			t.Fatalf("double flip %v: result %s, want detected", c, res)
+		}
+	}
+	// One data + one check bit also detects.
+	bad := cw
+	bad.Data ^= 1 << 9
+	bad.Check ^= 1 << 2
+	if _, res := Decode(bad); res != Detected {
+		t.Fatalf("data+check double flip: %s", res)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	for _, r := range []Result{OK, Corrected, Detected, Result(9)} {
+		if r.String() == "" {
+			t.Fatal("empty result string")
+		}
+	}
+}
+
+// Property: round trip is identity; every single-bit flip is corrected to
+// the original word.
+func TestSECDEDProperty(t *testing.T) {
+	f := func(d Word, bit uint8) bool {
+		cw := Encode(d)
+		if got, res := Decode(cw); res != OK || got != d {
+			return false
+		}
+		bad := cw
+		if bit%9 == 8 {
+			bad.Check ^= 1 << uint(bit%8)
+		} else {
+			bad.Data ^= 1 << uint(bit%64)
+		}
+		got, res := Decode(bad)
+		return res == Corrected && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any two distinct data-bit flips are detected, never silently
+// accepted or miscorrected into valid data.
+func TestDoubleErrorProperty(t *testing.T) {
+	f := func(d Word, a, b uint8) bool {
+		i, j := int(a%64), int(b%64)
+		if i == j {
+			return true
+		}
+		bad := Encode(d)
+		bad.Data ^= 1 << uint(i)
+		bad.Data ^= 1 << uint(j)
+		_, res := Decode(bad)
+		return res == Detected
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetadataPackRoundTrip(t *testing.T) {
+	for _, m := range []LineMetadata{
+		{},
+		{Valid: true},
+		{Dirty: true},
+		{Valid: true, Dirty: true, Tag: 63},
+		{Valid: true, Tag: 5},
+	} {
+		b, err := PackMetadata(m)
+		if err != nil {
+			t.Fatalf("pack %+v: %v", m, err)
+		}
+		if got := UnpackMetadata(b); got != m {
+			t.Fatalf("round trip %+v -> %+v", m, got)
+		}
+	}
+}
+
+func TestMetadataTagBudget(t *testing.T) {
+	if _, err := PackMetadata(LineMetadata{Tag: 64}); err == nil {
+		t.Fatal("tag beyond the ECC budget must be rejected")
+	}
+}
+
+func TestTagBitsNeeded(t *testing.T) {
+	cases := []struct {
+		lines, sets int64
+		want        int
+	}{
+		{64, 64, 0},   // direct map covers everything: no tag
+		{128, 64, 1},  // 2 ways' worth of aliasing
+		{4096, 64, 6}, // 64:1 => 6 bits (the paper's 1:64 two-level ratio)
+		{512, 64, 3},  // 8:1 => 3 bits (the paper's "3~6 tag bits" low end)
+		{0, 64, 0},
+		{64, 0, 0},
+	}
+	for _, c := range cases {
+		if got := TagBitsNeeded(c.lines, c.sets); got != c.want {
+			t.Errorf("TagBitsNeeded(%d,%d) = %d, want %d", c.lines, c.sets, got, c.want)
+		}
+	}
+}
+
+func TestPaperRatiosFitECCBudget(t *testing.T) {
+	// The paper's two-level capacity ratios must fit the tag-in-ECC design:
+	// 1:8 needs 3 bits, 1:64 needs 6 — both within TagBits.
+	for _, ratio := range []int64{8, 64} {
+		need := TagBitsNeeded(64*ratio, 64)
+		if need > TagBits {
+			t.Errorf("ratio 1:%d needs %d tag bits, exceeding the %d-bit ECC budget",
+				ratio, need, TagBits)
+		}
+	}
+}

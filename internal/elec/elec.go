@@ -1,0 +1,94 @@
+// Package elec models the traditional electrical memory channels that the
+// Origin and Hetero platforms use (Table I: six 32-bit channels at 15 GHz).
+// Each channel is a serially occupied bus; unlike the optical channel there
+// is no second route, so migration traffic always contends with requests.
+package elec
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Direction selects the request (controller -> device) or response
+// (device -> controller) half of a channel, mirroring the optical model so
+// platform comparisons are apples to apples.
+type Direction int
+
+const (
+	// Forward is controller -> device.
+	Forward Direction = iota
+	// Backward is device -> controller.
+	Backward
+)
+
+// Channel is the set of electrical memory channels, one per memory
+// controller.
+type Channel struct {
+	cfg      config.ElectricalConfig
+	col      *stats.Collector
+	lanes    []*sim.GapResource
+	wordTime sim.Time
+	laneB    float64
+
+	Transfers uint64
+}
+
+// New builds the electrical channels. col may be nil.
+func New(cfg config.ElectricalConfig, col *stats.Collector) *Channel {
+	if cfg.Channels <= 0 {
+		panic("elec: need at least one channel")
+	}
+	scale := cfg.BandwidthScale
+	if scale <= 0 {
+		scale = 1
+	}
+	c := &Channel{
+		cfg:      cfg,
+		col:      col,
+		lanes:    make([]*sim.GapResource, 2*cfg.Channels),
+		wordTime: sim.Time(float64(sim.FreqToPeriod(cfg.FreqHz))*scale + 0.5),
+		laneB:    float64(cfg.LaneBits) / 8,
+	}
+	for i := range c.lanes {
+		c.lanes[i] = sim.NewGapResource(fmt.Sprintf("elec%d", i))
+	}
+	return c
+}
+
+// Transfer serializes n bytes on channel ch's dir half, starting no
+// earlier than at.
+func (c *Channel) Transfer(ch int, dir Direction, at sim.Time, n int, class stats.Class) (start, end sim.Time) {
+	if ch < 0 || 2*ch >= len(c.lanes) {
+		panic(fmt.Sprintf("elec: channel %d out of [0,%d)", ch, len(c.lanes)/2))
+	}
+	words := float64(n) / c.laneB
+	dur := sim.Time(words*float64(c.wordTime) + 0.5)
+	if dur < c.wordTime {
+		dur = c.wordTime
+	}
+	start, end = c.lanes[2*ch+int(dir)].Reserve(at, dur)
+	if c.col != nil {
+		c.col.AddChannel(class, uint64(n), dur)
+		c.col.AddEnergy("elec-channel", float64(n)*8*c.cfg.PJPerBit)
+	}
+	c.Transfers++
+	return start, end
+}
+
+// FreeAt returns when channel ch's dir half frees.
+func (c *Channel) FreeAt(ch int, dir Direction) sim.Time { return c.lanes[2*ch+int(dir)].FreeAt() }
+
+// Busy returns total occupancy across channels.
+func (c *Channel) Busy() sim.Time {
+	var t sim.Time
+	for _, l := range c.lanes {
+		t += l.Busy()
+	}
+	return t
+}
+
+// Channels returns the channel count.
+func (c *Channel) Channels() int { return len(c.lanes) / 2 }

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// This file holds the ablation studies DESIGN.md calls out: design choices
+// the paper fixes that our implementation exposes as knobs. Each ablation
+// runs the Ohm-BW planar platform with one knob varied and reports the IPC
+// and wear/latency consequences.
+
+// AblationRow is one knob setting's outcome.
+type AblationRow struct {
+	Setting     string
+	IPC         float64
+	MeanLatency sim.Time
+	Migrations  uint64
+	Extra       map[string]float64
+}
+
+// AblationResult is a titled list of knob settings.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-22s %10s %14s %12s\n", "setting", "IPC", "mem-latency", "migrations")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %10.3f %14s %12d", row.Setting, row.IPC, row.MeanLatency, row.Migrations)
+		for _, k := range sortedKeys(row.Extra) {
+			fmt.Fprintf(&b, " %s=%.3g", k, row.Extra[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ablate runs one configured system on a workload and records the row.
+func ablate(cfg config.Config, workload, setting string) (AblationRow, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	rep, err := sys.RunWorkload(workload)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Setting:     setting,
+		IPC:         rep.IPC,
+		MeanLatency: rep.MeanLatency,
+		Migrations:  rep.Migrations,
+		Extra:       map[string]float64{},
+	}, nil
+}
+
+// AblationHotThreshold sweeps the planar hot-page detector's threshold:
+// migrate too eagerly and swaps saturate the memory route; too lazily and
+// the hot set stays in XPoint.
+func AblationHotThreshold(o Options, workload string) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation — planar hot-page threshold (Ohm-BW, " + workload + ")"}
+	for _, th := range []int{2, 4, 8, 16, 32, 64} {
+		cfg := config.Default(config.OhmBW, config.Planar)
+		cfg.Memory.HotThreshold = th
+		o.apply(&cfg)
+		row, err := ablate(cfg, workload, fmt.Sprintf("threshold=%d", th))
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationPageSize sweeps the migration granularity: bigger pages amortize
+// command overhead but move more dead bytes per swap.
+func AblationPageSize(o Options, workload string) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation — migration page size (Ohm-BW, planar, " + workload + ")"}
+	for _, pb := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
+		cfg := config.Default(config.OhmBW, config.Planar)
+		cfg.Memory.PageBytes = pb
+		o.apply(&cfg)
+		row, err := ablate(cfg, workload, fmt.Sprintf("page=%dKiB", pb>>10))
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationStartGap compares Start-Gap wear levelling against a static
+// layout: performance cost vs maximum wear.
+func AblationStartGap(o Options, workload string) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation — Start-Gap wear levelling (Ohm-BW, planar, " + workload + ")"}
+	for _, k := range []int{0, 10, 100, 1000} {
+		cfg := config.Default(config.OhmBW, config.Planar)
+		cfg.XPoint.StartGapK = k
+		o.apply(&cfg)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.RunWorkload(workload)
+		if err != nil {
+			return nil, err
+		}
+		var maxWear uint64
+		for mc := 0; mc < cfg.GPU.MemCtrls; mc++ {
+			if xc := sys.Mem.XPointAt(mc); xc != nil {
+				if w := xc.Wear().Max; w > maxWear {
+					maxWear = w
+				}
+			}
+		}
+		setting := fmt.Sprintf("K=%d", k)
+		if k == 0 {
+			setting = "disabled"
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Setting: setting, IPC: rep.IPC, MeanLatency: rep.MeanLatency,
+			Migrations: rep.Migrations,
+			Extra:      map[string]float64{"max-wear": float64(maxWear)},
+		})
+	}
+	return res, nil
+}
+
+// AblationMSHR quantifies L2 miss coalescing.
+func AblationMSHR(o Options, workload string) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation — L2 MSHR coalescing (Ohm-BW, planar, " + workload + ")"}
+	for _, entries := range []int{0, 16, 64, 256} {
+		cfg := config.Default(config.OhmBW, config.Planar)
+		cfg.GPU.MSHREntries = entries
+		o.apply(&cfg)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.RunWorkload(workload)
+		if err != nil {
+			return nil, err
+		}
+		setting := fmt.Sprintf("entries=%d", entries)
+		if entries == 0 {
+			setting = "disabled"
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Setting: setting, IPC: rep.IPC, MeanLatency: rep.MeanLatency,
+			Migrations: rep.Migrations,
+			Extra:      map[string]float64{"merges": float64(sys.GPU.MSHRMerges)},
+		})
+	}
+	return res, nil
+}
+
+// AblationChannelDivision compares static wavelength division (Table I's
+// default) against the dynamic borrowing strategy of [38].
+func AblationChannelDivision(o Options, workload string) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation — wavelength division strategy (Ohm-BW, planar, " + workload + ")"}
+	for _, dyn := range []bool{false, true} {
+		cfg := config.Default(config.OhmBW, config.Planar)
+		cfg.Optical.DynamicDivision = dyn
+		o.apply(&cfg)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sys.RunWorkload(workload)
+		if err != nil {
+			return nil, err
+		}
+		setting := "static"
+		extra := map[string]float64{}
+		if dyn {
+			setting = "dynamic"
+			extra["borrows"] = float64(sys.Mem.Opt.Borrows)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Setting: setting, IPC: rep.IPC, MeanLatency: rep.MeanLatency,
+			Migrations: rep.Migrations, Extra: extra,
+		})
+	}
+	return res, nil
+}
+
+// AblationNoC compares the constant-latency interconnect against the
+// contention-aware crossbar (internal/noc).
+func AblationNoC(o Options, workload string) (*AblationResult, error) {
+	res := &AblationResult{Title: "Ablation — SM<->L2 interconnect model (Ohm-BW, planar, " + workload + ")"}
+	for _, detailed := range []bool{false, true} {
+		cfg := config.Default(config.OhmBW, config.Planar)
+		cfg.GPU.NoCDetailed = detailed
+		o.apply(&cfg)
+		setting := "constant-latency"
+		if detailed {
+			setting = "crossbar"
+		}
+		row, err := ablate(cfg, workload, setting)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AblationPhases stresses migration with phase-changing hot sets: the
+// paper's workloads have static hot sets; iterative algorithms rotate
+// theirs every superstep, keeping migration active in steady state.
+func AblationPhases(o Options, workload string) (*AblationResult, error) {
+	w, ok := config.WorkloadByName(workload)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+	res := &AblationResult{Title: "Ablation — phase-changing hot sets (Ohm-BW vs Ohm-base, planar, " + workload + ")"}
+	for _, phases := range []int{1, 2, 4, 8} {
+		for _, p := range []config.Platform{config.OhmBase, config.OhmBW} {
+			cfg := config.Default(p, config.Planar)
+			o.apply(&cfg)
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep := sys.RunTrace(trace.GeneratePhased(w, &cfg, phases))
+			res.Rows = append(res.Rows, AblationRow{
+				Setting:     fmt.Sprintf("phases=%d/%s", phases, p),
+				IPC:         rep.IPC,
+				MeanLatency: rep.MeanLatency,
+				Migrations:  rep.Migrations,
+				Extra:       map[string]float64{},
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+var ablQuick = Options{MaxInstructions: 1500}
+
+func TestAblationHotThreshold(t *testing.T) {
+	r, err := AblationHotThreshold(ablQuick, "bfstopo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Lower thresholds must migrate at least as much as higher ones.
+	if r.Rows[0].Migrations < r.Rows[len(r.Rows)-1].Migrations {
+		t.Fatalf("threshold=2 migrated %d, less than threshold=64's %d",
+			r.Rows[0].Migrations, r.Rows[len(r.Rows)-1].Migrations)
+	}
+	if !strings.Contains(r.Render(), "threshold=2") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestAblationPageSize(t *testing.T) {
+	r, err := AblationPageSize(ablQuick, "lud")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.IPC <= 0 {
+			t.Fatalf("%s: zero IPC", row.Setting)
+		}
+	}
+}
+
+func TestAblationStartGap(t *testing.T) {
+	r, err := AblationStartGap(ablQuick, "bfsdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Aggressive wear levelling (K=10) must not exceed the static layout's
+	// maximum wear.
+	disabled := r.Rows[0]
+	k10 := r.Rows[1]
+	if disabled.Setting != "disabled" || k10.Setting != "K=10" {
+		t.Fatalf("unexpected ordering: %s %s", disabled.Setting, k10.Setting)
+	}
+	if k10.Extra["max-wear"] > disabled.Extra["max-wear"]+1 {
+		t.Fatalf("Start-Gap K=10 max wear %.0f exceeds static %.0f",
+			k10.Extra["max-wear"], disabled.Extra["max-wear"])
+	}
+}
+
+func TestAblationMSHR(t *testing.T) {
+	r, err := AblationMSHR(ablQuick, "pagerank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Extra["merges"] != 0 {
+		t.Fatal("disabled MSHR reported merges")
+	}
+	// Enabled MSHRs must coalesce something on a shared-hot-page workload
+	// and never hurt IPC.
+	if r.Rows[2].Extra["merges"] == 0 {
+		t.Fatal("64-entry MSHR coalesced nothing on pagerank")
+	}
+	if r.Rows[2].IPC < r.Rows[0].IPC*0.95 {
+		t.Fatalf("MSHR hurt IPC: %.3f vs %.3f", r.Rows[2].IPC, r.Rows[0].IPC)
+	}
+}
+
+func TestAblationChannelDivision(t *testing.T) {
+	r, err := AblationChannelDivision(ablQuick, "bfsdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Setting != "static" || r.Rows[1].Setting != "dynamic" {
+		t.Fatalf("unexpected settings: %v %v", r.Rows[0].Setting, r.Rows[1].Setting)
+	}
+}
+
+func TestAblationPhases(t *testing.T) {
+	r, err := AblationPhases(ablQuick, "bfstopo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if _, err := AblationPhases(ablQuick, "nope"); err == nil {
+		t.Fatal("accepted unknown workload")
+	}
+}
+
+func TestEndurance(t *testing.T) {
+	r, err := Endurance(ablQuick, "backp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.TotalWrites == 0 {
+			t.Fatalf("%s: no XPoint writes on a write-heavy workload", row.Platform)
+		}
+		if row.MaxWear == 0 || row.LifetimeRuns <= 0 {
+			t.Fatalf("%s: degenerate projection %+v", row.Platform, row)
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestAblationNoC(t *testing.T) {
+	r, err := AblationNoC(ablQuick, "bfsdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if r.Rows[0].Setting != "constant-latency" || r.Rows[1].Setting != "crossbar" {
+		t.Fatalf("settings: %v %v", r.Rows[0].Setting, r.Rows[1].Setting)
+	}
+	// The crossbar only adds contention at the interconnect, but shifted
+	// timings ripple through migration scheduling, so system-level IPC can
+	// move either way by ~10%; guard only against gross divergence.
+	ratio := r.Rows[1].IPC / r.Rows[0].IPC
+	if ratio > 1.25 || ratio < 0.5 {
+		t.Fatalf("crossbar IPC %.3f diverges from constant-latency %.3f",
+			r.Rows[1].IPC, r.Rows[0].IPC)
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+)
+
+// EnduranceRow is one platform's XPoint lifetime projection.
+type EnduranceRow struct {
+	Platform    config.Platform
+	MaxWear     uint64  // worst physical line's writes during the run
+	TotalWrites uint64  // all XPoint media writes
+	WearRatio   float64 // max / mean wear (1.0 = perfectly levelled)
+	// LifetimeRuns is work-normalized lifetime: how many executions of this
+	// workload the worst physical line survives before hitting the
+	// endurance budget. (Wall-clock projections would reward *slow*
+	// platforms, which is backwards.)
+	LifetimeRuns float64
+}
+
+// EnduranceResult projects XPoint lifetime under each platform — the
+// paper's Section III motivation: "DRAM in Ohm-GPU also accommodates
+// write-intensive data, which can significantly reduce the number of
+// writes on XPoint, thereby extending the lifetime of XPoint."
+type EnduranceResult struct {
+	Workload string
+	Rows     []EnduranceRow
+}
+
+// Endurance measures per-line wear across the heterogeneous platforms and
+// projects lifetime: endurance budget / worst-line write rate.
+func Endurance(o Options, workload string) (*EnduranceResult, error) {
+	res := &EnduranceResult{Workload: workload}
+	for _, p := range []config.Platform{config.Hetero, config.OhmBase, config.OhmBW} {
+		cfg := config.Default(p, config.Planar)
+		o.apply(&cfg)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.RunWorkload(workload); err != nil {
+			return nil, err
+		}
+		var maxWear, total uint64
+		var lines int
+		for mc := 0; mc < cfg.GPU.MemCtrls; mc++ {
+			xc := sys.Mem.XPointAt(mc)
+			if xc == nil {
+				continue
+			}
+			ws := xc.Wear()
+			if ws.Max > maxWear {
+				maxWear = ws.Max
+			}
+			total += ws.Total
+			lines += ws.Lines
+		}
+		mean := 0.0
+		if lines > 0 {
+			mean = float64(total) / float64(lines)
+		}
+		ratio := 0.0
+		if mean > 0 {
+			ratio = float64(maxWear) / mean
+		}
+		runs := 0.0
+		if maxWear > 0 {
+			runs = float64(cfg.XPoint.WearLimit) / float64(maxWear)
+		}
+		res.Rows = append(res.Rows, EnduranceRow{
+			Platform:     p,
+			MaxWear:      maxWear,
+			TotalWrites:  total,
+			WearRatio:    ratio,
+			LifetimeRuns: runs,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the work-normalized lifetime projection relative to the
+// first row (Hetero).
+func (r *EnduranceResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "XPoint endurance projection (planar, %s)\n", r.Workload)
+	fmt.Fprintf(&b, "%-9s %10s %12s %10s %14s\n", "platform", "max-wear", "total-wr", "max/mean", "rel-lifetime")
+	base := 0.0
+	if len(r.Rows) > 0 {
+		base = r.Rows[0].LifetimeRuns
+	}
+	for _, row := range r.Rows {
+		life := "n/a"
+		if row.LifetimeRuns > 0 && base > 0 {
+			life = fmt.Sprintf("%.2fx", row.LifetimeRuns/base)
+		}
+		fmt.Fprintf(&b, "%-9s %10d %12d %10.1f %14s\n",
+			row.Platform, row.MaxWear, row.TotalWrites, row.WearRatio, life)
+	}
+	return b.String()
+}

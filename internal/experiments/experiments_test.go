@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+)
+
+// quick keeps full-system experiment tests fast: two representative
+// workloads (one dense, one graph), short traces.
+var quick = Options{Workloads: []string{"lud", "bfstopo"}, MaxInstructions: 1200}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if len(o.workloads()) != 10 {
+		t.Fatalf("default workloads = %d, want all of Table II", len(o.workloads()))
+	}
+	cfg := config.Default(config.OhmBase, config.Planar)
+	o.apply(&cfg)
+	if cfg.MaxInstructions != 20000 {
+		t.Fatal("zero MaxInstructions must keep config default")
+	}
+	o = Options{MaxInstructions: 77}
+	o.apply(&cfg)
+	if cfg.MaxInstructions != 77 {
+		t.Fatal("option override lost")
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	g := NewGrid("t", "x", []string{"a", "b"}, []string{"c1", "c2"})
+	g.Set(0, 0, 2)
+	g.Set(1, 0, 8)
+	g.Set(0, 1, 3)
+	g.Set(1, 1, 3)
+	gm := g.GeoMeanRow()
+	if gm[0] != 4 || gm[1] != 3 {
+		t.Fatalf("geomean = %v", gm)
+	}
+	if g.Col("c2") != 1 || g.Col("nope") != -1 {
+		t.Fatal("Col lookup wrong")
+	}
+	out := g.Render()
+	if !strings.Contains(out, "gmean") || !strings.Contains(out, "c1") {
+		t.Fatalf("render missing parts:\n%s", out)
+	}
+}
+
+func TestFig16Shape(t *testing.T) {
+	r, err := Fig16(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*Grid{r.Planar, r.TwoLevel} {
+		if len(g.Cols) != 7 {
+			t.Fatalf("Fig16 needs all 7 platforms, got %v", g.Cols)
+		}
+		// Normalized to Ohm-base: that column must be exactly 1.
+		bc := g.Col("Ohm-base")
+		for i := range g.Rows {
+			if g.Cells[i][bc] != 1 {
+				t.Fatalf("Ohm-base column not normalized: %v", g.Cells[i][bc])
+			}
+		}
+	}
+	// Paper shape: Oracle dominates, Origin trails Hetero.
+	gm := r.Planar.GeoMeanRow()
+	or, het, oracle, bw := gm[r.Planar.Col("Origin")], gm[r.Planar.Col("Hetero")],
+		gm[r.Planar.Col("Oracle")], gm[r.Planar.Col("Ohm-BW")]
+	if or >= het {
+		t.Errorf("Origin (%.3f) must trail Hetero (%.3f)", or, het)
+	}
+	if oracle < bw {
+		t.Errorf("Oracle (%.3f) must dominate Ohm-BW (%.3f)", oracle, bw)
+	}
+	if bw < 1 {
+		t.Errorf("Ohm-BW (%.3f) must beat Ohm-base", bw)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig17Shape(t *testing.T) {
+	r, err := Fig17(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := r.Planar.GeoMeanRow()
+	base := gm[r.Planar.Col("Ohm-base")]
+	bw := gm[r.Planar.Col("Ohm-BW")]
+	oracle := gm[r.Planar.Col("Oracle")]
+	if base != 1 {
+		t.Fatalf("Ohm-base latency column must normalize to 1, got %v", base)
+	}
+	// Both the dual-route platform and the Oracle must improve on the
+	// baseline; their relative order can flip at the quick test's short
+	// warmup-dominated traces, so it is asserted only for full runs
+	// (EXPERIMENTS.md).
+	if bw > 1.0001 || oracle > 1.0001 {
+		t.Fatalf("latency ordering wrong: oracle=%.3f bw=%.3f base=1", oracle, bw)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig18Shape(t *testing.T) {
+	r, err := Fig18(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 18: Ohm-WOM eliminates two-level migration from the channel.
+	womCol := r.TwoLevel.Col("Ohm-WOM")
+	for i := range r.TwoLevel.Rows {
+		if r.TwoLevel.Cells[i][womCol] > 1e-9 {
+			t.Fatalf("two-level Ohm-WOM copy fraction = %v, want 0", r.TwoLevel.Cells[i][womCol])
+		}
+	}
+	// And the baseline shows real migration traffic in planar mode for the
+	// graph workload.
+	baseCol := r.Planar.Col("Ohm-base")
+	found := false
+	for i := range r.Planar.Rows {
+		if r.Planar.Cells[i][baseCol] > 0.05 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("planar baseline shows no migration bandwidth")
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	r, err := Fig19(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Planar) != len(quick.Workloads)*5 {
+		t.Fatalf("planar rows = %d, want %d", len(r.Planar), len(quick.Workloads)*5)
+	}
+	for _, row := range r.Planar {
+		if row.Platform == config.Hetero && (row.Total < 0.999 || row.Total > 1.001) {
+			t.Fatalf("Hetero must normalize to 1, got %v", row.Total)
+		}
+		if row.Platform == config.Hetero {
+			if row.Components["elec-channel"] <= 0 {
+				t.Fatal("Hetero missing electrical channel energy")
+			}
+		} else if row.Components["opti-network"] <= 0 {
+			t.Fatalf("%s missing optical energy", row.Platform)
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	r, err := Fig3a(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		sum := row.DataMove + row.Storage + row.GPU
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s: fractions sum to %v", row.Workload, sum)
+		}
+		if row.DataMove <= 0 || row.Storage <= 0 {
+			t.Fatalf("%s: SSD path unused (%+v)", row.Workload, row)
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	r, err := Fig3b(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if row.DMAFraction <= 0 || row.DMAFraction >= 1 {
+			t.Fatalf("%s: DMA fraction %v out of range", row.Workload, row.DMAFraction)
+		}
+		if row.EnergyFraction <= 0 {
+			t.Fatalf("%s: DMA energy missing", row.Workload)
+		}
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	r, err := Fig8(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(quick.Workloads) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, m := range config.AllModes() {
+		if r.MeanLatencyNorm(m) < 1 {
+			t.Errorf("%s: baseline latency must exceed Oracle, got %.2fx", m, r.MeanLatencyNorm(m))
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig20aShape(t *testing.T) {
+	o := Options{Workloads: []string{"bfstopo"}, MaxInstructions: 800}
+	r, err := Fig20a(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 waveguide points", len(r.Rows))
+	}
+	// More waveguides must never hurt, and 8 must beat 1 for Ohm-base.
+	if r.Rows[7].OhmBase <= r.Rows[0].OhmBase*0.99 {
+		t.Fatalf("8 waveguides (%.3f) should beat 1 (%.3f)", r.Rows[7].OhmBase, r.Rows[0].OhmBase)
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig20bShape(t *testing.T) {
+	r := Fig20b()
+	if len(r.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7 (1 + 3 + 3)", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.Meets {
+			t.Errorf("%s/%s BER %.2e violates the 1e-15 requirement", row.Platform, row.Path, row.BER)
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestFig21Shape(t *testing.T) {
+	// Cost-performance needs post-warmup steady state: short traces are
+	// migration-dominated and understate Ohm-BW. Use a longer trace on one
+	// dense and one graph workload.
+	o := Options{Workloads: []string{"lud", "pagerank"}, MaxInstructions: 4000}
+	r, err := Fig21(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 21: Ohm-BW's cost-performance beats Origin's everywhere, is
+	// competitive with Oracle's on dense kernels, and wins outright on the
+	// graph workload (the paper reports +24% overall).
+	for _, row := range r.Rows {
+		if row.OhmBW < 0.8*row.Oracle {
+			t.Errorf("%s/%s: CP(Ohm-BW)=%.3f far below CP(Oracle)=%.3f",
+				row.Workload, row.Mode, row.OhmBW, row.Oracle)
+		}
+		if row.OhmBW <= row.Origin {
+			t.Errorf("%s/%s: CP(Ohm-BW)=%.3f must beat CP(Origin)=%.3f",
+				row.Workload, row.Mode, row.OhmBW, row.Origin)
+		}
+		if row.Workload == "pagerank" && row.OhmBW < row.Oracle {
+			t.Errorf("pagerank/%s: CP(Ohm-BW)=%.3f should beat CP(Oracle)=%.3f",
+				row.Mode, row.OhmBW, row.Oracle)
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := Table2(Options{MaxInstructions: 2000})
+	if len(r.Rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		lo, hi := 0.8*float64(row.TargetAPKI)-15, 1.2*float64(row.TargetAPKI)+15
+		if float64(row.TargetAPKI) > 950 {
+			continue
+		}
+		if row.MeasuredAPKI < lo || row.MeasuredAPKI > hi {
+			t.Errorf("%s: generated APKI %.1f outside [%.0f,%.0f]", row.Workload, row.MeasuredAPKI, lo, hi)
+		}
+	}
+	if r.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	r := Table3()
+	if len(r.MRRRows) != 4 {
+		t.Fatalf("MRR rows = %d, want 4", len(r.MRRRows))
+	}
+	if len(r.Estimates) != 8 {
+		t.Fatalf("estimates = %d, want 8", len(r.Estimates))
+	}
+	out := r.Render()
+	for _, want := range []string{"2112", "4928", "41%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III render missing %q:\n%s", want, out)
+		}
+	}
+}

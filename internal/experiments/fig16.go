@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// Fig16Result is Figure 16: IPC of the seven GPU platforms under both
+// memory modes, normalized to Ohm-base.
+type Fig16Result struct {
+	Planar   *Grid
+	TwoLevel *Grid
+}
+
+// Fig16 reproduces Figure 16.
+func Fig16(o Options) (*Fig16Result, error) {
+	platforms := config.AllPlatforms()
+	res := &Fig16Result{}
+	for _, m := range config.AllModes() {
+		reps, err := o.gatherReports(m, platforms)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]string, len(platforms))
+		for i, p := range platforms {
+			cols[i] = p.String()
+		}
+		g := NewGrid(fmt.Sprintf("Figure 16 — IPC norm. to Ohm-base, %s memory", m), "x", o.workloads(), cols)
+		for i, w := range o.workloads() {
+			base := reps[w][config.OhmBase].IPC
+			for j, p := range platforms {
+				if base > 0 {
+					g.Set(i, j, reps[w][p].IPC/base)
+				}
+			}
+		}
+		if m == config.Planar {
+			res.Planar = g
+		} else {
+			res.TwoLevel = g
+		}
+	}
+	return res, nil
+}
+
+// Render prints both modes.
+func (r *Fig16Result) Render() string {
+	return r.Planar.Render() + "\n" + r.TwoLevel.Render()
+}
+
+// Fig17Result is Figure 17: average memory access latency normalized to
+// Ohm-base, for the optical platforms.
+type Fig17Result struct {
+	Planar   *Grid
+	TwoLevel *Grid
+}
+
+// Fig17 reproduces Figure 17.
+func Fig17(o Options) (*Fig17Result, error) {
+	platforms := []config.Platform{config.OhmBase, config.AutoRW, config.OhmWOM, config.OhmBW, config.Oracle}
+	res := &Fig17Result{}
+	for _, m := range config.AllModes() {
+		reps, err := o.gatherReports(m, platforms)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]string, len(platforms))
+		for i, p := range platforms {
+			cols[i] = p.String()
+		}
+		g := NewGrid(fmt.Sprintf("Figure 17 — memory latency norm. to Ohm-base, %s memory", m), "x", o.workloads(), cols)
+		for i, w := range o.workloads() {
+			base := float64(reps[w][config.OhmBase].MeanLatency)
+			for j, p := range platforms {
+				if base > 0 {
+					g.Set(i, j, float64(reps[w][p].MeanLatency)/base)
+				}
+			}
+		}
+		if m == config.Planar {
+			res.Planar = g
+		} else {
+			res.TwoLevel = g
+		}
+	}
+	return res, nil
+}
+
+// Render prints both modes.
+func (r *Fig17Result) Render() string {
+	return r.Planar.Render() + "\n" + r.TwoLevel.Render()
+}
+
+// Fig18Result is Figure 18: the fraction of channel bandwidth consumed by
+// regular requests vs data copies for the four heterogeneous optical
+// platforms.
+type Fig18Result struct {
+	Planar   *Grid // copy fraction per platform
+	TwoLevel *Grid
+}
+
+// Fig18 reproduces Figure 18.
+func Fig18(o Options) (*Fig18Result, error) {
+	platforms := []config.Platform{config.OhmBase, config.AutoRW, config.OhmWOM, config.OhmBW}
+	res := &Fig18Result{}
+	for _, m := range config.AllModes() {
+		reps, err := o.gatherReports(m, platforms)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]string, len(platforms))
+		for i, p := range platforms {
+			cols[i] = p.String()
+		}
+		g := NewGrid(fmt.Sprintf("Figure 18 — data-copy fraction of channel bandwidth, %s memory", m),
+			"fraction", o.workloads(), cols)
+		for i, w := range o.workloads() {
+			for j, p := range platforms {
+				g.Set(i, j, reps[w][p].CopyFraction)
+			}
+		}
+		if m == config.Planar {
+			res.Planar = g
+		} else {
+			res.TwoLevel = g
+		}
+	}
+	return res, nil
+}
+
+// Render prints both modes.
+func (r *Fig18Result) Render() string {
+	return r.Planar.Render() + "\n" + r.TwoLevel.Render()
+}
+
+// Fig19Result is Figure 19: the memory-system energy breakdown of the five
+// heterogeneous platforms, normalized to Hetero's total per workload.
+type Fig19Result struct {
+	Planar   []Fig19Row
+	TwoLevel []Fig19Row
+}
+
+// Fig19Row is one workload x platform stacked bar.
+type Fig19Row struct {
+	Workload   string
+	Platform   config.Platform
+	Components map[string]float64 // fraction of Hetero total
+	Total      float64            // total norm. to Hetero
+}
+
+// Fig19 reproduces Figure 19.
+func Fig19(o Options) (*Fig19Result, error) {
+	platforms := []config.Platform{config.Hetero, config.OhmBase, config.AutoRW, config.OhmWOM, config.OhmBW}
+	res := &Fig19Result{}
+	for _, m := range config.AllModes() {
+		reps, err := o.gatherReports(m, platforms)
+		if err != nil {
+			return nil, err
+		}
+		var rows []Fig19Row
+		for _, w := range o.workloads() {
+			het := reps[w][config.Hetero].TotalEnergyPJ()
+			for _, p := range platforms {
+				rep := reps[w][p]
+				comp := make(map[string]float64, len(rep.EnergyPJ))
+				for k, v := range rep.EnergyPJ {
+					if het > 0 {
+						comp[k] = v / het
+					}
+				}
+				total := 0.0
+				for _, v := range comp {
+					total += v
+				}
+				rows = append(rows, Fig19Row{Workload: w, Platform: p, Components: comp, Total: total})
+			}
+		}
+		if m == config.Planar {
+			res.Planar = rows
+		} else {
+			res.TwoLevel = rows
+		}
+	}
+	return res, nil
+}
+
+// Render prints the stacked-bar data as rows.
+func (r *Fig19Result) Render() string {
+	var b strings.Builder
+	render := func(mode string, rows []Fig19Row) {
+		fmt.Fprintf(&b, "Figure 19 — energy breakdown norm. to Hetero, %s memory\n", mode)
+		for _, row := range rows {
+			fmt.Fprintf(&b, "%-10s %-9s total=%.3f", row.Workload, row.Platform, row.Total)
+			for _, k := range sortedKeys(row.Components) {
+				fmt.Fprintf(&b, " %s=%.3f", k, row.Components[k])
+			}
+			b.WriteByte('\n')
+		}
+	}
+	render("planar", r.Planar)
+	b.WriteByte('\n')
+	render("two-level", r.TwoLevel)
+	return b.String()
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// runCfg builds a system from an explicit config and runs one workload —
+// a thin alias shared by the sensitivity and cost experiments.
+func runCfg(cfg config.Config, workload string) (stats.Report, error) {
+	return core.RunConfig(cfg, workload)
+}
+
+// Fig21Row is one workload's cost-performance comparison.
+type Fig21Row struct {
+	Workload string
+	Mode     config.MemMode
+	Origin   float64
+	OhmBW    float64
+	Oracle   float64
+}
+
+// Fig21Result is Figure 21: cost-performance ratio (IPC per k$) of Origin,
+// Ohm-BW and Oracle, normalized to Origin per workload.
+type Fig21Result struct{ Rows []Fig21Row }
+
+// Fig21 reproduces Figure 21 using the Table III cost estimates.
+func Fig21(o Options) (*Fig21Result, error) {
+	res := &Fig21Result{}
+	for _, m := range config.AllModes() {
+		for _, w := range o.workloads() {
+			cp := make(map[config.Platform]float64, 3)
+			for _, p := range []config.Platform{config.Origin, config.OhmBW, config.Oracle} {
+				rep, err := o.run(p, m, w)
+				if err != nil {
+					return nil, err
+				}
+				cp[p] = costmodel.CPRatio(rep.IPC, costmodel.Cost(p, m))
+			}
+			base := cp[config.Origin]
+			if base <= 0 {
+				base = 1
+			}
+			res.Rows = append(res.Rows, Fig21Row{
+				Workload: w,
+				Mode:     m,
+				Origin:   cp[config.Origin] / base,
+				OhmBW:    cp[config.OhmBW] / base,
+				Oracle:   cp[config.Oracle] / base,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Render prints the cost-performance rows.
+func (r *Fig21Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 21 — cost-performance ratio norm. to Origin (higher is better)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %10s %10s %10s\n", "workload", "mode", "Origin", "Ohm-BW", "Oracle")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-10s %10.3f %10.3f %10.3f\n",
+			row.Workload, row.Mode, row.Origin, row.OhmBW, row.Oracle)
+	}
+	return b.String()
+}
+
+// Table2Row compares a generated trace's measured characteristics against
+// Table II's published targets.
+type Table2Row struct {
+	Workload      string
+	TargetAPKI    int
+	MeasuredAPKI  float64
+	TargetRead    float64
+	MeasuredRead  float64
+	FootprintMB   float64
+	UniquePagesHi int
+}
+
+// Table2Result validates the synthetic workload calibration.
+type Table2Result struct{ Rows []Table2Row }
+
+// Table2 regenerates every workload and measures it.
+func Table2(o Options) *Table2Result {
+	cfg := config.Default(config.OhmBase, config.Planar)
+	o.apply(&cfg)
+	res := &Table2Result{}
+	for _, name := range o.workloads() {
+		w, ok := config.WorkloadByName(name)
+		if !ok {
+			continue
+		}
+		tr := trace.Generate(w, &cfg)
+		s := tr.Measure()
+		res.Rows = append(res.Rows, Table2Row{
+			Workload:      name,
+			TargetAPKI:    w.APKI,
+			MeasuredAPKI:  s.APKI,
+			TargetRead:    w.ReadRatio,
+			MeasuredRead:  s.ReadRatio,
+			FootprintMB:   float64(tr.Footprint) / (1 << 20),
+			UniquePagesHi: s.UniquePages,
+		})
+	}
+	return res
+}
+
+// Render prints the calibration table.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table II — workload characteristics (target vs generated)\n")
+	fmt.Fprintf(&b, "%-10s %10s %10s %8s %8s %10s\n",
+		"workload", "APKI(tgt)", "APKI(gen)", "rd(tgt)", "rd(gen)", "footprint")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %10d %10.1f %8.2f %8.2f %8.0fMB\n",
+			row.Workload, row.TargetAPKI, row.MeasuredAPKI, row.TargetRead, row.MeasuredRead, row.FootprintMB)
+	}
+	return b.String()
+}
+
+// Table3Result is Table III: the cost estimation of the Ohm memories.
+type Table3Result struct {
+	Estimates []costmodel.Estimate
+	MRRRows   []Table3MRRRow
+}
+
+// Table3MRRRow is one MRR-inventory row.
+type Table3MRRRow struct {
+	Platform   config.Platform
+	Mode       config.MemMode
+	Modulators int
+	Detectors  int
+}
+
+// Table3 assembles the published cost table from the cost model.
+func Table3() *Table3Result {
+	res := &Table3Result{}
+	for _, m := range config.AllModes() {
+		for _, p := range []config.Platform{config.Origin, config.OhmBase, config.OhmBW, config.Oracle} {
+			res.Estimates = append(res.Estimates, costmodel.Cost(p, m))
+		}
+		for _, p := range []config.Platform{config.OhmBase, config.OhmBW} {
+			if c, ok := costmodel.MRRs(p, m); ok {
+				res.MRRRows = append(res.MRRRows, Table3MRRRow{
+					Platform: p, Mode: m, Modulators: c.Modulators, Detectors: c.Detectors,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// Render prints the cost table.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III — cost estimation\n")
+	for _, row := range r.MRRRows {
+		fmt.Fprintf(&b, "%-9s %-10s modulators=%d detectors=%d\n",
+			row.Platform, row.Mode, row.Modulators, row.Detectors)
+	}
+	for _, e := range r.Estimates {
+		fmt.Fprintf(&b, "%s\n", e.String())
+	}
+	fmt.Fprintf(&b, "Ohm-BW MRR increase over Ohm-base (both modes): %.0f%%\n",
+		100*costmodel.MRRIncreaseOverall())
+	return b.String()
+}

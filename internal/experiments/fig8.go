@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// Fig8Row is one workload x mode observation of the baseline Ohm memory
+// system's migration overhead (Section IV-A).
+type Fig8Row struct {
+	Workload     string
+	Mode         config.MemMode
+	CopyFraction float64 // channel bandwidth consumed by data copies
+	LatencyNorm  float64 // baseline mean latency / Oracle mean latency
+}
+
+// Fig8Result is Figure 8: bandwidth utilization split and memory latency of
+// the baseline (Ohm-base) normalized to the Oracle.
+type Fig8Result struct{ Rows []Fig8Row }
+
+// Fig8 reproduces Figure 8.
+func Fig8(o Options) (*Fig8Result, error) {
+	res := &Fig8Result{}
+	for _, m := range config.AllModes() {
+		for _, w := range o.workloads() {
+			base, err := o.run(config.OhmBase, m, w)
+			if err != nil {
+				return nil, err
+			}
+			oracle, err := o.run(config.Oracle, m, w)
+			if err != nil {
+				return nil, err
+			}
+			norm := 0.0
+			if oracle.MeanLatency > 0 {
+				norm = float64(base.MeanLatency) / float64(oracle.MeanLatency)
+			}
+			res.Rows = append(res.Rows, Fig8Row{
+				Workload:     w,
+				Mode:         m,
+				CopyFraction: base.CopyFraction,
+				LatencyNorm:  norm,
+			})
+		}
+	}
+	return res, nil
+}
+
+// MeanCopyFraction averages the copy fraction over one mode's rows.
+func (r *Fig8Result) MeanCopyFraction(m config.MemMode) float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		if row.Mode == m {
+			sum += row.CopyFraction
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MeanLatencyNorm averages baseline/Oracle latency over one mode's rows.
+func (r *Fig8Result) MeanLatencyNorm(m config.MemMode) float64 {
+	sum, n := 0.0, 0
+	for _, row := range r.Rows {
+		if row.Mode == m {
+			sum += row.LatencyNorm
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render prints the figure's two panels.
+func (r *Fig8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8 — baseline migration overhead (Ohm-base vs Oracle)\n")
+	fmt.Fprintf(&b, "%-10s %-10s %12s %14s\n", "workload", "mode", "copy-frac", "lat/oracle")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %-10s %11.1f%% %14.2f\n",
+			row.Workload, row.Mode, 100*row.CopyFraction, row.LatencyNorm)
+	}
+	for _, m := range config.AllModes() {
+		fmt.Fprintf(&b, "mean %-9s: migration=%.1f%% of bandwidth, latency %.2fx Oracle\n",
+			m, 100*r.MeanCopyFraction(m), r.MeanLatencyNorm(m))
+	}
+	return b.String()
+}

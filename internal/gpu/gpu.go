@@ -1,0 +1,281 @@
+// Package gpu models the baseline GPU of Figure 2: streaming
+// multiprocessors executing warps in lockstep with a greedy-then-oldest
+// style latency-hiding scheduler, per-SM L1D caches, a shared L2, and an
+// interconnect to the memory controllers. The model is trace-driven and
+// cycle-approximate: each SM issues at most one warp instruction per core
+// cycle; memory instructions traverse L1 -> L2 -> memory controller and
+// block only their own warp, so resident warps hide memory latency exactly
+// as the paper's MacSim configuration does.
+//
+// Simplifications (documented in DESIGN.md): the L2 is functional with a
+// fixed lookup latency (no bank contention — the channel under study is the
+// bottleneck), and L1 write-back traffic to L2 is functional-only.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/noc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// MemAccessor is the memory system under the L2 (the hmem controller).
+type MemAccessor interface {
+	// Access serves a line request arriving at time at and returns when the
+	// response is available at the memory controller.
+	Access(at sim.Time, addr uint64, write bool) (done sim.Time)
+}
+
+// sm is one streaming multiprocessor.
+type sm struct {
+	issue *sim.Resource // one instruction per core cycle
+	l1    *cache.Cache
+}
+
+// warpRun is the execution state of one resident warp.
+type warpRun struct {
+	smIdx int
+	tr    trace.WarpTrace
+	pc    int
+	done  sim.Time
+}
+
+// GPU executes traces against a memory system.
+type GPU struct {
+	cfg   *config.Config
+	col   *stats.Collector
+	mem   MemAccessor
+	eng   *sim.Engine
+	sms   []sm
+	l2    *cache.Cache
+	cycle sim.Time
+
+	// mshr tracks outstanding L2 line misses when config.GPU.MSHREntries is
+	// positive: a second miss to an in-flight line coalesces onto the first
+	// request instead of issuing its own (classic MSHR merging).
+	mshr map[uint64]sim.Time
+
+	// MSHRMerges counts coalesced misses for the ablation experiments.
+	MSHRMerges uint64
+
+	// xbar is the contention-aware interconnect (nil = constant latency).
+	xbar *noc.Crossbar
+
+	live   int
+	finish sim.Time
+}
+
+// New builds a GPU. The memory accessor must not be nil.
+func New(cfg *config.Config, col *stats.Collector, mem MemAccessor) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mem == nil {
+		return nil, fmt.Errorf("gpu: nil memory accessor")
+	}
+	if col == nil {
+		return nil, fmt.Errorf("gpu: nil collector")
+	}
+	g := &GPU{
+		cfg:   cfg,
+		col:   col,
+		mem:   mem,
+		cycle: sim.FreqToPeriod(cfg.GPU.CoreFreqHz),
+	}
+	g.sms = make([]sm, cfg.GPU.SMs)
+	for i := range g.sms {
+		l1, err := cache.New(fmt.Sprintf("l1-sm%d", i), cfg.GPU.L1SizeBytes, cfg.GPU.L1Ways, cfg.GPU.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		g.sms[i] = sm{issue: sim.NewResource(fmt.Sprintf("sm%d", i)), l1: l1}
+	}
+	l2, err := cache.New("l2", cfg.GPU.L2SizeBytes, cfg.GPU.L2Ways, cfg.GPU.LineBytes)
+	if err != nil {
+		return nil, err
+	}
+	g.l2 = l2
+	if cfg.GPU.MSHREntries > 0 {
+		g.mshr = make(map[uint64]sim.Time, cfg.GPU.MSHREntries)
+	}
+	if cfg.GPU.NoCDetailed {
+		ncfg := noc.Default()
+		ncfg.Ports = cfg.GPU.MemCtrls
+		ncfg.HopLatency = cfg.GPU.InterconnectL
+		ncfg.FreqHz = cfg.GPU.CoreFreqHz
+		xbar, err := noc.New(ncfg)
+		if err != nil {
+			return nil, err
+		}
+		g.xbar = xbar
+	}
+	return g, nil
+}
+
+// Crossbar exposes the detailed interconnect when enabled (nil otherwise).
+func (g *GPU) Crossbar() *noc.Crossbar { return g.xbar }
+
+// toL2 returns when a request of n bytes issued at time at reaches the L2:
+// the constant hop by default, the crossbar traversal when detailed.
+func (g *GPU) toL2(at sim.Time, addr uint64, n int) sim.Time {
+	if g.xbar == nil {
+		return at + g.cfg.GPU.InterconnectL
+	}
+	return g.xbar.Traverse(at, addr, n, g.cfg.GPU.LineBytes)
+}
+
+// Run executes one kernel (trace) to completion and returns the elapsed
+// simulated time. Warps are assigned to SMs round-robin.
+func (g *GPU) Run(tr *trace.Trace) sim.Time {
+	g.eng = sim.NewEngine()
+	g.finish = 0
+	g.live = 0
+	warps := make([]*warpRun, 0, len(tr.Warps))
+	for i, wt := range tr.Warps {
+		if len(wt) == 0 {
+			continue
+		}
+		w := &warpRun{smIdx: i % len(g.sms), tr: wt}
+		warps = append(warps, w)
+		g.live++
+	}
+	for _, w := range warps {
+		w := w
+		g.eng.Schedule(0, func() { g.step(w) })
+	}
+	g.eng.Run()
+	if g.live != 0 {
+		panic(fmt.Sprintf("gpu: %d warps still live after event queue drained", g.live))
+	}
+	return g.finish
+}
+
+// step advances one warp from the current engine time.
+func (g *GPU) step(w *warpRun) {
+	now := g.eng.Now()
+	if w.pc >= len(w.tr) {
+		g.live--
+		if now > g.finish {
+			g.finish = now
+		}
+		return
+	}
+	s := &g.sms[w.smIdx]
+
+	in := w.tr[w.pc]
+	if in.Kind == trace.Compute {
+		// Batch the run of consecutive compute instructions: k cycles on
+		// the issue port.
+		k := 0
+		for w.pc+k < len(w.tr) && w.tr[w.pc+k].Kind == trace.Compute {
+			k++
+		}
+		w.pc += k
+		g.col.Instructions += uint64(k)
+		_, end := s.issue.Reserve(now, sim.Time(k)*g.cycle)
+		g.eng.Schedule(end, func() { g.step(w) })
+		return
+	}
+
+	// Memory instruction: one issue slot, then the memory hierarchy.
+	w.pc++
+	g.col.Instructions++
+	write := in.Kind == trace.Store
+	_, issued := s.issue.Reserve(now, g.cycle)
+
+	resume := g.memAccess(s, issued, in.Addr, write)
+	g.eng.Schedule(resume, func() { g.step(w) })
+}
+
+// memAccess walks L1 -> L2 -> memory and returns when the warp may resume.
+// Stores resume at L1 commit (write-back caches absorb them); loads resume
+// when data returns.
+func (g *GPU) memAccess(s *sm, at sim.Time, addr uint64, write bool) sim.Time {
+	gcfg := g.cfg.GPU
+
+	r1 := s.l1.Access(addr, write)
+	if r1.Hit {
+		g.col.L1Hits++
+		return at + gcfg.L1Latency
+	}
+	g.col.L1Misses++
+	// L1 dirty victim falls into L2 (functional only).
+	if r1.WritebackValid {
+		g.l2.Access(r1.Writeback, true)
+	}
+
+	l2At := g.toL2(at+gcfg.L1Latency, addr, 16)
+	lineAddr := addr / uint64(gcfg.LineBytes) * uint64(gcfg.LineBytes)
+	r2 := g.l2.Access(addr, write)
+	if r2.Hit {
+		g.col.L2Hits++
+		done := l2At + gcfg.L2Latency
+		if g.mshr != nil {
+			// The line may be resident but still in flight from memory:
+			// a hit on it merges onto the outstanding fill (MSHR
+			// semantics) instead of returning instantly.
+			if fill, ok := g.mshr[lineAddr]; ok && fill > done {
+				g.MSHRMerges++
+				done = fill
+			}
+		}
+		if write {
+			return at + gcfg.L1Latency // store buffered at L1/L2
+		}
+		return done + gcfg.InterconnectL
+	}
+	g.col.L2Misses++
+	// L2 dirty victim is written back to memory; it occupies the channel
+	// but does not block this warp.
+	memAt := l2At + gcfg.L2Latency
+	if r2.WritebackValid {
+		g.mem.Access(memAt, r2.Writeback, true)
+	}
+	if g.mshr != nil && !write {
+		if done, ok := g.mshr[lineAddr]; ok && done > memAt {
+			// Coalesce onto the in-flight miss.
+			g.MSHRMerges++
+			return done + gcfg.InterconnectL
+		}
+	}
+	done := g.mem.Access(memAt, addr, write)
+	if g.mshr != nil && !write {
+		if len(g.mshr) >= g.cfg.GPU.MSHREntries {
+			// Lazily drop completed entries; bypass if still full.
+			for k, v := range g.mshr {
+				if v <= memAt {
+					delete(g.mshr, k)
+				}
+			}
+		}
+		if len(g.mshr) < g.cfg.GPU.MSHREntries {
+			g.mshr[lineAddr] = done
+		}
+	}
+	if write {
+		// Store: the warp resumes once the L1/L2 committed the line; the
+		// memory write completes in the background.
+		return at + gcfg.L1Latency
+	}
+	return done + gcfg.InterconnectL
+}
+
+// L1HitRate aggregates hit rate across SMs.
+func (g *GPU) L1HitRate() float64 {
+	var h, m uint64
+	for i := range g.sms {
+		h += g.sms[i].l1.Hits
+		m += g.sms[i].l1.Misses
+	}
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// L2HitRate returns the shared L2's hit rate.
+func (g *GPU) L2HitRate() float64 { return g.l2.HitRate() }

@@ -1,0 +1,9 @@
+package hmem
+
+// Debug instrumentation: per-destination latency sums for calibration runs.
+// Kept behind ordinary counters (no build tags) because the overhead is two
+// map updates per access and the experiments read them from Extra.
+func (c *Controller) noteLat(dest string, d int64) {
+	c.col.Extra[dest+"-lat-sum"] += float64(d)
+	c.col.Extra[dest+"-count"]++
+}

@@ -1,0 +1,100 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Ports: 0, FlitBytes: 32, FreqHz: 1e9}); err == nil {
+		t.Fatal("accepted zero ports")
+	}
+	if _, err := New(Config{Ports: 1, FlitBytes: 0, FreqHz: 1e9}); err == nil {
+		t.Fatal("accepted zero flit bytes")
+	}
+	if _, err := New(Config{Ports: 1, FlitBytes: 32, FreqHz: 0}); err == nil {
+		t.Fatal("accepted zero frequency")
+	}
+}
+
+func TestZeroLoadLatency(t *testing.T) {
+	cfg := Default()
+	x, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 32-byte message: hop latency + one flit.
+	done := x.Traverse(0, 0, 32, 128)
+	want := cfg.HopLatency + sim.FreqToPeriod(cfg.FreqHz)
+	if done != want {
+		t.Fatalf("zero-load traversal %s, want %s", done, want)
+	}
+}
+
+func TestPortContention(t *testing.T) {
+	x, _ := New(Default())
+	// Two messages to the same port serialize; to different ports they don't.
+	d1 := x.Traverse(0, 0, 128, 128)
+	d2 := x.Traverse(0, 0, 128, 128) // same line -> same port
+	if d2 <= d1 {
+		t.Fatalf("same-port messages overlapped: %s <= %s", d2, d1)
+	}
+	d3 := x.Traverse(0, 128, 128, 128) // next line -> next port
+	if d3 != d1 {
+		t.Fatalf("different ports should not contend: %s vs %s", d3, d1)
+	}
+}
+
+func TestPortRouting(t *testing.T) {
+	x, _ := New(Default())
+	seen := map[int]bool{}
+	for line := 0; line < 6; line++ {
+		seen[x.port(uint64(line*128), 128)] = true
+	}
+	if len(seen) != 6 {
+		t.Fatalf("6 consecutive lines should cover all 6 ports, covered %d", len(seen))
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	x, _ := New(Default())
+	if x.Utilization(0) != 0 {
+		t.Fatal("zero elapsed must yield 0")
+	}
+	x.Traverse(0, 0, 1024, 128)
+	if x.Utilization(sim.Microsecond) <= 0 {
+		t.Fatal("traffic must register utilization")
+	}
+	if x.Traversals != 1 {
+		t.Fatalf("traversals = %d", x.Traversals)
+	}
+}
+
+// Property: traversal completion is never earlier than hop latency + one
+// flit, and same-port traversals never overlap.
+func TestTraversalProperty(t *testing.T) {
+	cfg := Default()
+	minDur := cfg.HopLatency + sim.FreqToPeriod(cfg.FreqHz)
+	f := func(sizes []uint16) bool {
+		x, _ := New(cfg)
+		var last sim.Time
+		at := sim.Time(0)
+		for _, sz := range sizes {
+			done := x.Traverse(at, 0, int(sz%512)+1, 128) // all to port 0
+			if done < at+minDur {
+				return false
+			}
+			if done <= last {
+				return false
+			}
+			last = done
+			at += 10
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,152 @@
+package optical
+
+import "fmt"
+
+// This file models Figure 15: the transmitter/receiver (MRR) layout a
+// DRAM + XPoint device pair needs on the optical channel — the general
+// design that supports every migration function (Figure 15a) and the
+// per-mode customized designs that drop unused rings (Figure 15b: planar
+// needs only the swap function, two-level only auto-read/write and
+// reverse-write). The paper reports the customized designs save 58%
+// (planar) and 42% (two-level) of MRRs versus the general design;
+// Reduction reproduces those numbers from the layout tables below.
+
+// MRRKind distinguishes ring roles.
+type MRRKind int
+
+const (
+	// FullTx is a conventional fully-coupled photonic transmitter.
+	FullTx MRRKind = iota
+	// FullRx is a conventional fully-coupled photonic receiver.
+	FullRx
+	// HalfTx is a half-coupled transmitter (Ohm-BW's shared-light
+	// modulation for the swap function).
+	HalfTx
+	// HalfRx is a half-coupled receiver (the snarf path).
+	HalfRx
+)
+
+func (k MRRKind) String() string {
+	switch k {
+	case FullTx:
+		return "tx"
+	case FullRx:
+		return "rx"
+	case HalfTx:
+		return "half-tx"
+	case HalfRx:
+		return "half-rx"
+	default:
+		return fmt.Sprintf("MRRKind(%d)", int(k))
+	}
+}
+
+// Ring is one MRR in a device's array, attached to the forward or backward
+// path and serving one memory function.
+type Ring struct {
+	Kind     MRRKind
+	Forward  bool   // forward path (MC -> devices) vs backward
+	Function string // which memory function needs it
+}
+
+// DeviceLayout is a device's ring inventory.
+type DeviceLayout struct {
+	Device string // "dram" or "xpoint"
+	Rings  []Ring
+}
+
+// Counts tallies modulators (transmitters) and detectors (receivers).
+func (d DeviceLayout) Counts() (mods, dets int) {
+	for _, r := range d.Rings {
+		switch r.Kind {
+		case FullTx, HalfTx:
+			mods++
+		case FullRx, HalfRx:
+			dets++
+		}
+	}
+	return mods, dets
+}
+
+// GeneralLayout is Figure 15a: every function available on both devices of
+// a DRAM + XPoint pair — four conventional pairs per device (forward and
+// backward paths), the half-coupled receiver sets for auto-read/write and
+// reverse-write, the half-coupled transmitters for swap, and the optional
+// T9-T11 transmitters that add request/swap scheduling parallelism.
+func GeneralLayout() []DeviceLayout {
+	dram := DeviceLayout{Device: "dram", Rings: []Ring{
+		{FullTx, true, "conventional"}, {FullRx, true, "conventional"},
+		{FullTx, false, "conventional"}, {FullRx, false, "conventional"},
+		{HalfRx, true, "auto-read/write"}, {HalfRx, false, "auto-read/write"},
+		{HalfRx, false, "reverse-write"},
+		{HalfTx, true, "swap"}, {HalfTx, false, "swap"},
+		{HalfTx, true, "parallelism"}, {HalfTx, false, "parallelism"},
+		{HalfTx, true, "parallelism"},
+	}}
+	xp := DeviceLayout{Device: "xpoint", Rings: []Ring{
+		{FullTx, true, "conventional"}, {FullRx, true, "conventional"},
+		{FullTx, false, "conventional"}, {FullRx, false, "conventional"},
+		{HalfRx, true, "auto-read/write"}, {HalfRx, false, "auto-read/write"},
+		{HalfRx, true, "auto-read/write"},
+		{HalfTx, true, "swap"}, {HalfTx, false, "swap"},
+		{FullTx, false, "reverse-write"},
+		{HalfRx, true, "swap"}, {HalfTx, true, "parallelism"},
+	}}
+	return []DeviceLayout{dram, xp}
+}
+
+// PlanarLayout is Figure 15b's planar customization: the planar mode only
+// needs the swap function, so the snarf receiver sets, the reverse-write
+// rings and the extra parallelism transmitters are dropped, and each device
+// keeps a single conventional pair per direction it actually uses.
+func PlanarLayout() []DeviceLayout {
+	dram := DeviceLayout{Device: "dram", Rings: []Ring{
+		{FullTx, true, "conventional"}, {FullRx, true, "conventional"},
+		{FullRx, false, "conventional"},
+		{HalfTx, true, "swap"}, {HalfTx, false, "swap"},
+	}}
+	xp := DeviceLayout{Device: "xpoint", Rings: []Ring{
+		{FullTx, false, "conventional"}, {FullRx, true, "conventional"},
+		{HalfTx, true, "swap"}, {HalfRx, true, "swap"},
+		{HalfTx, false, "swap"},
+	}}
+	return []DeviceLayout{dram, xp}
+}
+
+// TwoLevelLayout is Figure 15b's two-level customization: auto-read/write
+// and reverse-write stay, swap disappears.
+func TwoLevelLayout() []DeviceLayout {
+	dram := DeviceLayout{Device: "dram", Rings: []Ring{
+		{FullTx, true, "conventional"}, {FullRx, true, "conventional"},
+		{FullTx, false, "conventional"}, {FullRx, false, "conventional"},
+		{HalfRx, true, "auto-read/write"}, {HalfRx, false, "auto-read/write"},
+		{HalfRx, false, "reverse-write"},
+	}}
+	xp := DeviceLayout{Device: "xpoint", Rings: []Ring{
+		{FullTx, true, "conventional"}, {FullRx, true, "conventional"},
+		{FullTx, false, "conventional"},
+		{HalfRx, true, "auto-read/write"}, {HalfRx, false, "auto-read/write"},
+		{FullTx, false, "reverse-write"},
+		{HalfRx, true, "auto-read/write"},
+	}}
+	return []DeviceLayout{dram, xp}
+}
+
+// TotalRings sums rings across a layout set.
+func TotalRings(ls []DeviceLayout) int {
+	n := 0
+	for _, l := range ls {
+		n += len(l.Rings)
+	}
+	return n
+}
+
+// Reduction returns the fractional MRR saving of a customized layout versus
+// the general design (Figure 15b's 58% planar / 42% two-level).
+func Reduction(custom []DeviceLayout) float64 {
+	g := TotalRings(GeneralLayout())
+	if g == 0 {
+		return 0
+	}
+	return 1 - float64(TotalRings(custom))/float64(g)
+}

@@ -1,0 +1,109 @@
+package optical
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneralLayoutCoversAllFunctions(t *testing.T) {
+	funcs := map[string]bool{}
+	for _, d := range GeneralLayout() {
+		for _, r := range d.Rings {
+			funcs[r.Function] = true
+		}
+	}
+	for _, want := range []string{"conventional", "auto-read/write", "reverse-write", "swap"} {
+		if !funcs[want] {
+			t.Errorf("general layout missing function %q", want)
+		}
+	}
+}
+
+func TestLayoutReductionsMatchPaper(t *testing.T) {
+	// Section V-C: "Our customized design can reduce the number of required
+	// MRRs by 58% and 42% in planar and two-level memory modes".
+	planar := Reduction(PlanarLayout())
+	if math.Abs(planar-0.58) > 0.02 {
+		t.Errorf("planar MRR reduction = %.3f, want ~0.58", planar)
+	}
+	twoLvl := Reduction(TwoLevelLayout())
+	if math.Abs(twoLvl-0.42) > 0.02 {
+		t.Errorf("two-level MRR reduction = %.3f, want ~0.42", twoLvl)
+	}
+}
+
+func TestPlanarLayoutOnlySwap(t *testing.T) {
+	for _, d := range PlanarLayout() {
+		for _, r := range d.Rings {
+			if r.Function != "conventional" && r.Function != "swap" {
+				t.Errorf("planar layout carries %q ring on %s", r.Function, d.Device)
+			}
+		}
+	}
+}
+
+func TestTwoLevelLayoutNoSwap(t *testing.T) {
+	for _, d := range TwoLevelLayout() {
+		for _, r := range d.Rings {
+			if r.Function == "swap" || r.Function == "parallelism" {
+				t.Errorf("two-level layout carries %q ring on %s", r.Function, d.Device)
+			}
+		}
+	}
+}
+
+func TestTwoLevelKeepsSnarfReceivers(t *testing.T) {
+	// Auto-read/write requires half-coupled receivers on both paths of the
+	// DRAM device (the XPoint controller snarfs MC<->DRAM light).
+	var fwd, bwd bool
+	for _, d := range TwoLevelLayout() {
+		if d.Device != "dram" {
+			continue
+		}
+		for _, r := range d.Rings {
+			if r.Kind == HalfRx && r.Function == "auto-read/write" {
+				if r.Forward {
+					fwd = true
+				} else {
+					bwd = true
+				}
+			}
+		}
+	}
+	if !fwd || !bwd {
+		t.Fatalf("two-level DRAM must keep snarf receivers on both paths (fwd=%v bwd=%v)", fwd, bwd)
+	}
+}
+
+func TestPlanarLayoutHasHalfCoupledTransmitters(t *testing.T) {
+	// The swap function's dual routes need half-coupled transmitters on
+	// both devices (Section IV-C).
+	byDev := map[string]bool{}
+	for _, d := range PlanarLayout() {
+		for _, r := range d.Rings {
+			if r.Kind == HalfTx && r.Function == "swap" {
+				byDev[d.Device] = true
+			}
+		}
+	}
+	if !byDev["dram"] || !byDev["xpoint"] {
+		t.Fatalf("swap needs HalfTx on both devices: %v", byDev)
+	}
+}
+
+func TestCountsAndKinds(t *testing.T) {
+	for _, d := range GeneralLayout() {
+		mods, dets := d.Counts()
+		if mods+dets != len(d.Rings) {
+			t.Fatalf("%s: counts %d+%d != %d rings", d.Device, mods, dets, len(d.Rings))
+		}
+		if mods == 0 || dets == 0 {
+			t.Fatalf("%s: degenerate layout (%d mods, %d dets)", d.Device, mods, dets)
+		}
+	}
+	for _, k := range []MRRKind{FullTx, FullRx, HalfTx, HalfRx, MRRKind(9)} {
+		if k.String() == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package optical models the silicon-photonic memory channel of Ohm-GPU:
+// DWDM virtual channels over one or more waveguides, photonic demultiplexer
+// arbitration, micro-ring resonator (MRR) modulators/detectors including the
+// half-coupled MRR (HCMRR) that enables dual routes, write-once-memory (WOM)
+// coding for sharing one light between two transmitters, and the optical
+// power / bit-error-rate model of Table I.
+package optical
+
+import "fmt"
+
+// WOM implements the Rivest–Shamir (2,3) write-once-memory code of
+// Figure 14: a 3-bit light signal carries one 2-bit datum from the first
+// transmitter and later a second 2-bit datum from a downstream transmitter,
+// under the constraint that a transmitter can only *consume* light (set code
+// bits), never restore it. This is what lets the memory controller and the
+// XPoint controller modulate the same laser light during a swap, at the cost
+// of 3 light bits per 2 data bits (the paper's 33% effective-bandwidth
+// reduction).
+//
+// First-write codes have weight <= 1, second-write codes weight >= 2, so a
+// receiver distinguishes generations by popcount alone. The second-write
+// code for value v covers every first-write code except first(v) itself —
+// and in that case the light already encodes v, so no rewrite is needed.
+type WOM struct{}
+
+// womFirst maps a 2-bit datum to its first-generation 3-bit code.
+var womFirst = [4]uint8{
+	0b00: 0b000,
+	0b01: 0b100,
+	0b10: 0b010,
+	0b11: 0b001,
+}
+
+// womSecond maps a 2-bit datum to its second-generation 3-bit code (the
+// bitwise complement of the first-generation code).
+var womSecond = [4]uint8{
+	0b00: 0b111,
+	0b01: 0b011,
+	0b10: 0b101,
+	0b11: 0b110,
+}
+
+// EncodeFirst returns the first-write code for a 2-bit datum.
+func (WOM) EncodeFirst(data uint8) uint8 {
+	return womFirst[data&3]
+}
+
+// EncodeSecond returns the code on the light after the second transmitter
+// writes data over the current code. If the light already encodes data, it
+// is left untouched; otherwise the second-generation code is written, which
+// by construction only sets bits.
+func (WOM) EncodeSecond(data uint8, current uint8) uint8 {
+	data &= 3
+	current &= 7
+	if womFirst[data] == current {
+		return current
+	}
+	return womSecond[data]
+}
+
+// Decode recovers the most recent 2-bit datum from a 3-bit code. Generation
+// is determined by weight: <=1 is a first write, >=2 a second write.
+func (WOM) Decode(code uint8) (data uint8, generation int) {
+	code &= 7
+	if popcount3(code) <= 1 {
+		for d, c := range womFirst {
+			if c == code {
+				return uint8(d), 1
+			}
+		}
+	}
+	for d, c := range womSecond {
+		if c == code {
+			return uint8(d), 2
+		}
+	}
+	// 4 first-gen + 4 second-gen codes cover all 8 states of a 3-bit code,
+	// so this is unreachable; keep a loud failure for future table edits.
+	panic(fmt.Sprintf("optical: undecodable WOM code %03b", code))
+}
+
+// Overhead is the WOM bandwidth expansion: 3 light bits per 2 data bits.
+const Overhead = 1.5
+
+func popcount3(x uint8) int {
+	return int(x&1 + x>>1&1 + x>>2&1)
+}

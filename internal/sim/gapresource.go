@@ -1,0 +1,146 @@
+package sim
+
+// GapResource is a serially-occupied resource that, unlike Resource, can
+// backfill idle gaps. Event-driven components sometimes book a resource at
+// a *future* instant (a read response scheduled for when the device will be
+// ready); with a plain frontier, every request arriving in between would
+// queue behind that future booking even though the resource is idle. A real
+// channel scheduler fills the gap — GapResource models that by remembering
+// a bounded list of recent idle windows and first-fitting new reservations
+// into them.
+type GapResource struct {
+	name   string
+	freeAt Time
+	busy   Time
+	gaps   []gapWindow // unordered, bounded by maxGaps
+}
+
+type gapWindow struct{ start, end Time }
+
+// maxGaps bounds the remembered idle windows; old windows are evicted by
+// replacing the smallest. 64 is plenty: gaps older than the current working
+// window are never fillable again because request times move forward.
+const maxGaps = 256
+
+// NewGapResource names a gap-filling resource.
+func NewGapResource(name string) *GapResource { return &GapResource{name: name} }
+
+// Name returns the diagnostic name.
+func (r *GapResource) Name() string { return r.name }
+
+// FreeAt returns the frontier: the earliest time a reservation is
+// guaranteed to fit without gap luck.
+func (r *GapResource) FreeAt() Time { return r.freeAt }
+
+// Busy returns accumulated occupancy.
+func (r *GapResource) Busy() Time { return r.busy }
+
+// Reserve books dur starting no earlier than at, preferring the earliest
+// idle gap that fits, else appending at the frontier.
+func (r *GapResource) Reserve(at, dur Time) (start, end Time) {
+	// First-fit into the earliest suitable gap.
+	best := -1
+	var bestStart Time
+	for i := range r.gaps {
+		g := &r.gaps[i]
+		s := at
+		if g.start > s {
+			s = g.start
+		}
+		if s+dur <= g.end {
+			if best == -1 || s < bestStart {
+				best = i
+				bestStart = s
+			}
+		}
+	}
+	if best >= 0 {
+		g := r.gaps[best]
+		s := bestStart
+		e := s + dur
+		// Split the gap; drop empty remnants.
+		repl := r.gaps[:0]
+		for i, w := range r.gaps {
+			if i == best {
+				continue
+			}
+			repl = append(repl, w)
+		}
+		r.gaps = repl
+		if g.start < s {
+			r.addGap(g.start, s)
+		}
+		if e < g.end {
+			r.addGap(e, g.end)
+		}
+		r.busy += dur
+		return s, e
+	}
+
+	start = at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	if start > r.freeAt {
+		r.addGap(r.freeAt, start)
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	return start, end
+}
+
+// ReserveAt books exactly [at, at+dur) regardless of other occupancy (an
+// externally arbitrated window, e.g. a migration operation granted by the
+// conflict-detection logic). It never delays and never blocks earlier idle
+// time; overlap with queued occupancy is the arbiter's responsibility.
+func (r *GapResource) ReserveAt(at, dur Time) (start, end Time) {
+	end = at + dur
+	if end > r.freeAt {
+		if at > r.freeAt {
+			r.addGap(r.freeAt, at)
+		}
+		r.freeAt = end
+	}
+	r.busy += dur
+	return at, end
+}
+
+// addGap records an idle window, evicting the smallest when full.
+func (r *GapResource) addGap(start, end Time) {
+	if end <= start {
+		return
+	}
+	if len(r.gaps) < maxGaps {
+		r.gaps = append(r.gaps, gapWindow{start, end})
+		return
+	}
+	smallest, size := 0, r.gaps[0].end-r.gaps[0].start
+	for i := 1; i < len(r.gaps); i++ {
+		if s := r.gaps[i].end - r.gaps[i].start; s < size {
+			smallest, size = i, s
+		}
+	}
+	if end-start > size {
+		r.gaps[smallest] = gapWindow{start, end}
+	}
+}
+
+// Reset clears all state.
+func (r *GapResource) Reset() {
+	r.freeAt = 0
+	r.busy = 0
+	r.gaps = r.gaps[:0]
+}
+
+// Utilization returns busy/elapsed clamped to [0,1].
+func (r *GapResource) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(r.busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestGapResourceFrontier(t *testing.T) {
+	r := NewGapResource("g")
+	s, e := r.Reserve(0, 10)
+	if s != 0 || e != 10 {
+		t.Fatalf("first reservation [%d,%d)", s, e)
+	}
+	s, e = r.Reserve(5, 10)
+	if s != 10 || e != 20 {
+		t.Fatalf("queued reservation [%d,%d), want [10,20)", s, e)
+	}
+	if r.FreeAt() != 20 || r.Busy() != 20 {
+		t.Fatalf("frontier %d busy %d", r.FreeAt(), r.Busy())
+	}
+}
+
+func TestGapResourceBackfill(t *testing.T) {
+	r := NewGapResource("g")
+	// A future booking leaves an idle gap behind it...
+	s, _ := r.Reserve(1000, 50)
+	if s != 1000 {
+		t.Fatalf("future booking started at %d", s)
+	}
+	// ...which an earlier request must fill instead of queueing at 1050.
+	s, e := r.Reserve(0, 100)
+	if s != 0 || e != 100 {
+		t.Fatalf("backfill got [%d,%d), want [0,100)", s, e)
+	}
+	// The remaining gap [100,1000) keeps absorbing fits.
+	s, e = r.Reserve(200, 300)
+	if s != 200 || e != 500 {
+		t.Fatalf("second backfill [%d,%d), want [200,500)", s, e)
+	}
+	// An oversized request falls through to the frontier.
+	s, _ = r.Reserve(0, 900)
+	if s != 1050 {
+		t.Fatalf("oversized request started at %d, want frontier 1050", s)
+	}
+}
+
+func TestGapResourceEarliestGapWins(t *testing.T) {
+	r := NewGapResource("g")
+	r.Reserve(100, 10) // gap [0,100)
+	r.Reserve(300, 10) // gap [110,300)
+	s, _ := r.Reserve(0, 50)
+	if s != 0 {
+		t.Fatalf("should fill the earliest suitable gap, started at %d", s)
+	}
+}
+
+func TestGapResourceReserveAt(t *testing.T) {
+	r := NewGapResource("g")
+	r.Reserve(0, 100)
+	// Interior scheduled window: no frontier movement.
+	s, e := r.ReserveAt(50, 10)
+	if s != 50 || e != 60 || r.FreeAt() != 100 {
+		t.Fatalf("interior ReserveAt [%d,%d) frontier %d", s, e, r.FreeAt())
+	}
+	// Future scheduled window extends the frontier and leaves a fillable gap.
+	r.ReserveAt(500, 10)
+	if r.FreeAt() != 510 {
+		t.Fatalf("frontier %d, want 510", r.FreeAt())
+	}
+	s, _ = r.Reserve(100, 50)
+	if s != 100 {
+		t.Fatalf("gap before scheduled window not fillable: started %d", s)
+	}
+}
+
+func TestGapResourceReset(t *testing.T) {
+	r := NewGapResource("g")
+	r.Reserve(100, 10)
+	r.Reset()
+	if r.FreeAt() != 0 || r.Busy() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if s, _ := r.Reserve(0, 5); s != 0 {
+		t.Fatal("state leaked through Reset")
+	}
+}
+
+func TestGapResourceUtilization(t *testing.T) {
+	r := NewGapResource("g")
+	r.Reserve(0, 50)
+	if got := r.Utilization(100); got != 0.5 {
+		t.Fatalf("utilization %v", got)
+	}
+	if r.Utilization(0) != 0 {
+		t.Fatal("zero elapsed must yield 0")
+	}
+	if r.Utilization(10) != 1 {
+		t.Fatal("must clamp to 1")
+	}
+}
+
+// Property: Reserve windows never overlap each other, regardless of how
+// they interleave with ReserveAt bookings.
+func TestGapResourceNoOverlapProperty(t *testing.T) {
+	type window struct{ s, e Time }
+	f := func(ops []uint32) bool {
+		r := NewGapResource("p")
+		var reserved []window
+		at := Time(0)
+		for _, op := range ops {
+			dur := Time(op%500) + 1
+			if op%3 == 0 {
+				// Scheduled booking at a (possibly future) instant.
+				r.ReserveAt(at+Time(op%10000), dur)
+				continue
+			}
+			s, e := r.Reserve(at, dur)
+			if s < at || e != s+dur {
+				return false
+			}
+			reserved = append(reserved, window{s, e})
+			at += Time(op % 97)
+		}
+		sort.Slice(reserved, func(i, j int) bool { return reserved[i].s < reserved[j].s })
+		for i := 1; i < len(reserved); i++ {
+			if reserved[i].s < reserved[i-1].e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: total busy time equals the sum of requested durations.
+func TestGapResourceBusyAccountingProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		r := NewGapResource("p")
+		var want Time
+		for i, d := range durs {
+			dur := Time(d%1000) + 1
+			want += dur
+			if i%2 == 0 {
+				r.Reserve(Time(i*13), dur)
+			} else {
+				r.ReserveAt(Time(i*29), dur)
+			}
+		}
+		return r.Busy() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under gap eviction pressure (many future bookings), Reserve
+// still never returns a start before the request time.
+func TestGapResourceEvictionPressureProperty(t *testing.T) {
+	f := func(seeds []uint32) bool {
+		r := NewGapResource("p")
+		for i, s := range seeds {
+			// Create far-flung scheduled windows to force gap eviction.
+			r.ReserveAt(Time(s%1_000_000)+Time(i)*10_000, Time(s%50)+1)
+		}
+		at := Time(0)
+		for i := 0; i < 100; i++ {
+			s, e := r.Reserve(at, 100)
+			if s < at || e != s+100 {
+				return false
+			}
+			at = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import "math"
+
+// Resource models a serially-occupied shared resource such as an optical
+// virtual channel, a DRAM bank data bus, or a DMA engine. Callers reserve an
+// occupancy window; the resource tracks the earliest time a new occupancy
+// can begin and accumulates total busy time for bandwidth accounting.
+//
+// Resource implements FCFS semantics: a reservation made at time t begins at
+// max(t, freeAt) and pushes freeAt forward by the duration. This is the
+// standard first-order queueing model used by memory-channel simulators.
+type Resource struct {
+	name   string
+	freeAt Time
+	busy   Time // accumulated occupied picoseconds
+}
+
+// NewResource names a resource; the name appears only in diagnostics.
+func NewResource(name string) *Resource { return &Resource{name: name} }
+
+// Name returns the diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// FreeAt returns the earliest time a new occupancy can start.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Busy returns the total occupied time so far.
+func (r *Resource) Busy() Time { return r.busy }
+
+// Reserve books the resource for dur starting no earlier than at, returning
+// the start and end times of the granted window.
+func (r *Resource) Reserve(at, dur Time) (start, end Time) {
+	start = at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	return start, end
+}
+
+// ReserveAt books the resource for [at, at+dur) unconditionally, moving
+// freeAt forward if needed. Used when an external arbiter has already
+// resolved conflicts (e.g. the photonic demultiplexer grants exclusivity).
+func (r *Resource) ReserveAt(at, dur Time) (start, end Time) {
+	end = at + dur
+	if end > r.freeAt {
+		r.freeAt = end
+	}
+	r.busy += dur
+	return at, end
+}
+
+// Reset clears occupancy accounting (used between kernels).
+func (r *Resource) Reset() {
+	r.freeAt = 0
+	r.busy = 0
+}
+
+// Utilization returns busy/elapsed in [0,1]; elapsed <= 0 yields 0.
+func (r *Resource) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(r.busy) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Rng is a SplitMix64 pseudo-random generator. Every stochastic choice in
+// the simulator draws from a seeded Rng so runs are reproducible; we do not
+// use math/rand because its global state would couple unrelated components.
+type Rng struct{ state uint64 }
+
+// NewRng seeds a generator. Distinct components should use distinct seeds
+// derived from the configuration seed (e.g. seed ^ componentID).
+func NewRng(seed uint64) *Rng { return &Rng{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rng) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *Rng) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rng) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Zipf draws from a Zipf-like distribution over [0, n) with skew s > 0 using
+// inverse-CDF on a harmonic approximation. Higher s concentrates mass on
+// small indices; graph workloads (pagerank, sssp) use s≈0.8–1.2 to model hot
+// vertices, which is what drives migration in the paper's planar mode.
+type Zipf struct {
+	n   int
+	cdf []float64
+	rng *Rng
+}
+
+// NewZipf precomputes the CDF; n must be positive.
+func NewZipf(rng *Rng, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("sim: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{n: n, cdf: cdf, rng: rng}
+}
+
+// Next draws the next index.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ps"},
+		{500, "500ps"},
+		{Nanosecond, "1.000ns"},
+		{1500, "1.500ns"},
+		{Microsecond, "1.000us"},
+		{Millisecond, "1.000ms"},
+		{Second, "1.000s"},
+		{-500, "-500ps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFreqToPeriod(t *testing.T) {
+	cases := []struct {
+		hz   float64
+		want Time
+	}{
+		{1e9, 1000},  // 1 GHz -> 1 ns
+		{1.2e9, 833}, // GPU core clock
+		{30e9, 33},   // optical channel
+		{15e9, 67},   // electrical channel
+		{1e12, 1},    // 1 THz -> 1 ps
+	}
+	for _, c := range cases {
+		if got := FreqToPeriod(c.hz); got != c.want {
+			t.Errorf("FreqToPeriod(%v) = %d, want %d", c.hz, got, c.want)
+		}
+	}
+}
+
+func TestFreqToPeriodPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive frequency")
+		}
+	}()
+	FreqToPeriod(0)
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("clock = %s, want 30ps", e.Now())
+	}
+}
+
+func TestEngineTieBreakBySequence(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.After(5, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != 10 || hits[1] != 15 {
+		t.Fatalf("nested scheduling produced %v", hits)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative delay")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(20, func() { fired++ })
+	e.Schedule(30, func() { fired++ })
+	e.RunUntil(20)
+	if fired != 2 {
+		t.Fatalf("RunUntil(20) fired %d events, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %s, want 20ps", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("idle RunUntil left clock at %s", e.Now())
+	}
+}
+
+func TestEngineRunFor(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	e.Run()
+	e.RunFor(10)
+	if e.Now() != 15 {
+		t.Fatalf("RunFor: clock = %s, want 15ps", e.Now())
+	}
+}
+
+func TestEngineFiredCount(t *testing.T) {
+	e := NewEngine()
+	for i := Time(1); i <= 100; i++ {
+		e.Schedule(i, func() {})
+	}
+	e.Run()
+	if e.Fired() != 100 {
+		t.Fatalf("Fired = %d, want 100", e.Fired())
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	r := NewResource("chan")
+	s1, e1 := r.Reserve(0, 10)
+	if s1 != 0 || e1 != 10 {
+		t.Fatalf("first reservation [%d,%d), want [0,10)", s1, e1)
+	}
+	// Second request arrives at t=5 but must queue behind the first.
+	s2, e2 := r.Reserve(5, 10)
+	if s2 != 10 || e2 != 20 {
+		t.Fatalf("queued reservation [%d,%d), want [10,20)", s2, e2)
+	}
+	// Third request arrives after the resource is idle.
+	s3, e3 := r.Reserve(100, 10)
+	if s3 != 100 || e3 != 110 {
+		t.Fatalf("idle reservation [%d,%d), want [100,110)", s3, e3)
+	}
+	if r.Busy() != 30 {
+		t.Fatalf("busy = %d, want 30", r.Busy())
+	}
+}
+
+func TestResourceReserveAt(t *testing.T) {
+	r := NewResource("bank")
+	r.Reserve(0, 100)
+	s, e := r.ReserveAt(50, 10) // overlapping window granted by arbiter
+	if s != 50 || e != 60 {
+		t.Fatalf("ReserveAt = [%d,%d), want [50,60)", s, e)
+	}
+	if r.FreeAt() != 100 {
+		t.Fatalf("FreeAt = %d, want 100 (unchanged by interior window)", r.FreeAt())
+	}
+	_, e2 := r.ReserveAt(200, 10)
+	if e2 != 210 || r.FreeAt() != 210 {
+		t.Fatalf("ReserveAt beyond freeAt: end=%d freeAt=%d", e2, r.FreeAt())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("u")
+	r.Reserve(0, 50)
+	if got := r.Utilization(100); got != 0.5 {
+		t.Fatalf("utilization = %v, want 0.5", got)
+	}
+	if got := r.Utilization(0); got != 0 {
+		t.Fatalf("utilization at zero elapsed = %v, want 0", got)
+	}
+	if got := r.Utilization(10); got != 1 {
+		t.Fatalf("utilization clamps to 1, got %v", got)
+	}
+}
+
+func TestResourceReset(t *testing.T) {
+	r := NewResource("r")
+	r.Reserve(0, 50)
+	r.Reset()
+	if r.Busy() != 0 || r.FreeAt() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// Property: reservations never overlap and never start before requested.
+func TestResourceNoOverlapProperty(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		r := NewResource("p")
+		var lastEnd Time
+		at := Time(0)
+		for _, q := range reqs {
+			dur := Time(q%1000) + 1
+			at += Time(q % 7) // arrival times move forward
+			s, e := r.Reserve(at, dur)
+			if s < at || s < lastEnd || e != s+dur {
+				return false
+			}
+			lastEnd = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRngDeterminism(t *testing.T) {
+	a, b := NewRng(42), NewRng(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRng(43)
+	same := true
+	a = NewRng(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRngIntnRange(t *testing.T) {
+	r := NewRng(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRngIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Intn(0)")
+		}
+	}()
+	NewRng(1).Intn(0)
+}
+
+func TestRngFloat64Range(t *testing.T) {
+	r := NewRng(99)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRng(5)
+	z := NewZipf(r, 1.0, 100)
+	counts := make([]int, 100)
+	n := 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Index 0 must be drawn far more often than index 99 under skew 1.0.
+	if counts[0] < 10*counts[99]+1 {
+		t.Fatalf("zipf not skewed: head=%d tail=%d", counts[0], counts[99])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("zipf dropped draws: %d != %d", total, n)
+	}
+}
+
+func TestZipfBounds(t *testing.T) {
+	z := NewZipf(NewRng(11), 0.8, 7)
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 7 {
+			t.Fatalf("zipf out of bounds: %d", v)
+		}
+	}
+}
+
+func TestZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<=0")
+		}
+	}()
+	NewZipf(NewRng(1), 1.0, 0)
+}

@@ -1,0 +1,88 @@
+// Package ssd models the external storage of the Figure 3 motivation study:
+// a GPU–SSD integrated system in which working sets exceeding GPU memory
+// are staged over a PCIe DMA engine from a low-latency SSD. The paper used
+// a real Samsung Z-NAND testbed; we model first-order latency/bandwidth
+// behaviour, which is all the execution-time breakdown depends on.
+package ssd
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config parametrises the storage path.
+type Config struct {
+	// ReadLatency is the SSD's internal access latency per command
+	// (Z-NAND-class, ~20 us).
+	ReadLatency sim.Time
+	// WriteLatency per command.
+	WriteLatency sim.Time
+	// BandwidthBps is the device's streaming bandwidth.
+	BandwidthBps float64
+	// DMABandwidthBps is the PCIe DMA bandwidth between host/SSD and GPU.
+	DMABandwidthBps float64
+	// DMASetup is per-transfer DMA programming overhead.
+	DMASetup sim.Time
+	// PJPerBit is the DMA transfer energy.
+	PJPerBit float64
+}
+
+// Default returns a Z-NAND + PCIe 3.0 x16 class configuration.
+func Default() Config {
+	return Config{
+		ReadLatency:     20 * sim.Microsecond,
+		WriteLatency:    30 * sim.Microsecond,
+		BandwidthBps:    3.2e9,  // 3.2 GB/s streaming
+		DMABandwidthBps: 12.8e9, // PCIe 3.0 x16 effective
+		DMASetup:        5 * sim.Microsecond,
+		PJPerBit:        50,
+	}
+}
+
+// Device is the SSD + DMA pipeline.
+type Device struct {
+	cfg   Config
+	col   *stats.Collector
+	flash *sim.Resource
+	dma   *sim.Resource
+}
+
+// New builds the device; col may be nil.
+func New(cfg Config, col *stats.Collector) *Device {
+	return &Device{
+		cfg:   cfg,
+		col:   col,
+		flash: sim.NewResource("ssd-flash"),
+		dma:   sim.NewResource("ssd-dma"),
+	}
+}
+
+// Stage moves n bytes between the SSD and GPU memory (direction only
+// affects latency). It returns when the data is resident on the other side,
+// and accounts the storage and DMA time separately, matching Figure 3a's
+// "Storage" and "Data move" bars.
+func (d *Device) Stage(at sim.Time, n int64, write bool) (done sim.Time) {
+	lat := d.cfg.ReadLatency
+	if write {
+		lat = d.cfg.WriteLatency
+	}
+	flashDur := lat + sim.Time(float64(n)/d.cfg.BandwidthBps*1e12)
+	_, flashDone := d.flash.Reserve(at, flashDur)
+
+	dmaDur := d.cfg.DMASetup + sim.Time(float64(n)/d.cfg.DMABandwidthBps*1e12)
+	_, done = d.dma.Reserve(flashDone, dmaDur)
+
+	if d.col != nil {
+		d.col.StorageTime += flashDur
+		d.col.HostTime += dmaDur
+		d.col.HostBytes += uint64(n)
+		d.col.AddEnergy("dma", float64(n)*8*d.cfg.PJPerBit)
+	}
+	return done
+}
+
+// FlashBusy and DMABusy expose occupancy for breakdown reports.
+func (d *Device) FlashBusy() sim.Time { return d.flash.Busy() }
+
+// DMABusy returns DMA engine occupancy.
+func (d *Device) DMABusy() sim.Time { return d.dma.Busy() }
