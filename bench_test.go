@@ -8,6 +8,7 @@ package main
 import (
 	"testing"
 
+	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -135,6 +136,47 @@ func BenchmarkSingleRun(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkBatchSweep measures the sweep engine itself on a 2x1x2 grid:
+// serial vs full worker pool, and a warm content-addressed cache. The
+// serial/parallel ratio approaches the core count on multi-core hosts; the
+// warm-cache run costs only hashing and JSON decode.
+func BenchmarkBatchSweep(b *testing.B) {
+	spec := batch.SweepSpec{
+		Platforms:       []config.Platform{config.OhmBase, config.OhmBW},
+		Modes:           []config.MemMode{config.Planar},
+		Workloads:       []string{"lud", "bfsdata"},
+		MaxInstructions: 2000,
+	}
+	b.Run("serial", func(b *testing.B) {
+		r := batch.NewRunner(1, nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := r.RunSpec(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		r := batch.NewRunner(0, nil)
+		for i := 0; i < b.N; i++ {
+			if _, err := r.RunSpec(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm-cache", func(b *testing.B) {
+		r := batch.NewRunner(0, batch.NewMemCache())
+		if _, err := r.RunSpec(spec); err != nil { // prime
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.RunSpec(spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // Ablation benches cover the design choices DESIGN.md calls out.

@@ -1,0 +1,232 @@
+// Command ohmbatch runs a declarative sweep over the evaluation grid on
+// the parallel batch engine with the content-addressed result cache, and
+// emits machine-readable results.
+//
+// Usage:
+//
+//	ohmbatch                                        # full 7x2x10 paper grid
+//	ohmbatch -platforms ohm-base,ohm-bw -modes planar -workloads lud,sssp
+//	ohmbatch -waveguides 1,2,4,8 -instr 5000 -format csv -o sweep.csv
+//	ohmbatch -spec sweep.json                       # spec from a JSON file
+//	ohmbatch -print-spec -waveguides 1,2 > sweep.json
+//
+// Results are cached under -cache (default .ohmbatch-cache) keyed by a
+// hash of the fully-resolved configuration and workload, so re-running a
+// spec — or a different spec overlapping it — only simulates new cells.
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+func main() {
+	specPath := flag.String("spec", "", "JSON SweepSpec file (flags below override its axes)")
+	platforms := flag.String("platforms", "", "comma-separated platforms (empty = all seven)")
+	modes := flag.String("modes", "", "comma-separated memory modes (empty = both)")
+	workloads := flag.String("workloads", "", "comma-separated Table II workloads (empty = all ten)")
+	waveguides := flag.String("waveguides", "", "comma-separated optical waveguide counts to sweep")
+	instr := flag.Int("instr", 0, "instructions per warp (0 = config default)")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache", ".ohmbatch-cache", "result cache directory (empty disables caching)")
+	format := flag.String("format", "json", "output format: json|csv")
+	out := flag.String("o", "", "output file (empty = stdout)")
+	printSpec := flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
+	quiet := flag.Bool("q", false, "suppress the run summary on stderr")
+	flag.Parse()
+
+	spec, err := buildSpec(*specPath, *platforms, *modes, *workloads, *waveguides, *instr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *printSpec {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spec); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	var cache batch.Cache
+	if *cacheDir != "" {
+		dc, err := batch.NewDiskCache(*cacheDir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cache = dc
+	}
+	runner := batch.NewRunner(*workers, cache)
+
+	cells := spec.Cells()
+	start := time.Now()
+	reports, err := runner.Run(cells)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "json":
+		err = emitJSON(w, cells, reports)
+	case "csv":
+		err = emitCSV(w, cells, reports)
+	default:
+		err = fmt.Errorf("unknown format %q (json|csv)", *format)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if !*quiet {
+		st := runner.Stats()
+		fmt.Fprintf(os.Stderr, "ohmbatch: %d cells in %s (%d cached, %d simulated)\n",
+			len(cells), elapsed.Round(time.Millisecond), st.Hits, st.Misses)
+		if st.PutErrors > 0 {
+			fmt.Fprintf(os.Stderr, "ohmbatch: warning: %d results could not be written to the cache\n",
+				st.PutErrors)
+		}
+	}
+}
+
+// buildSpec loads the spec file (if any) and applies flag overrides.
+func buildSpec(path, platforms, modes, workloads, waveguides string, instr int) (batch.SweepSpec, error) {
+	var spec batch.SweepSpec
+	if path != "" {
+		s, err := batch.LoadSpec(path)
+		if err != nil {
+			return spec, err
+		}
+		spec = s
+	}
+	if platforms != "" {
+		spec.Platforms = spec.Platforms[:0]
+		for _, name := range strings.Split(platforms, ",") {
+			p, err := config.ParsePlatform(strings.TrimSpace(name))
+			if err != nil {
+				return spec, err
+			}
+			spec.Platforms = append(spec.Platforms, p)
+		}
+	}
+	if modes != "" {
+		spec.Modes = spec.Modes[:0]
+		for _, name := range strings.Split(modes, ",") {
+			m, err := config.ParseMode(strings.TrimSpace(name))
+			if err != nil {
+				return spec, err
+			}
+			spec.Modes = append(spec.Modes, m)
+		}
+	}
+	if workloads != "" {
+		spec.Workloads = spec.Workloads[:0]
+		for _, w := range strings.Split(workloads, ",") {
+			spec.Workloads = append(spec.Workloads, strings.TrimSpace(w))
+		}
+	}
+	if waveguides != "" {
+		spec.Waveguides = spec.Waveguides[:0]
+		for _, s := range strings.Split(waveguides, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return spec, fmt.Errorf("bad waveguide count %q", s)
+			}
+			spec.Waveguides = append(spec.Waveguides, n)
+		}
+	}
+	if instr > 0 {
+		spec.MaxInstructions = instr
+	}
+	return spec, nil
+}
+
+// row is one cell's identity + report in the JSON output.
+type row struct {
+	Index      int          `json:"index"`
+	Platform   string       `json:"platform"`
+	Mode       string       `json:"mode"`
+	Workload   string       `json:"workload"`
+	Waveguides int          `json:"waveguides"`
+	Report     stats.Report `json:"report"`
+}
+
+func emitJSON(w io.Writer, cells []batch.Cell, reports []stats.Report) error {
+	rows := make([]row, len(cells))
+	for i, c := range cells {
+		rows[i] = row{
+			Index:      c.Index,
+			Platform:   c.Platform.String(),
+			Mode:       c.Mode.String(),
+			Workload:   c.Workload,
+			Waveguides: c.Config.Optical.Waveguides,
+			Report:     reports[i],
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+func emitCSV(w io.Writer, cells []batch.Cell, reports []stats.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"index", "platform", "mode", "workload", "waveguides",
+		"elapsed_ps", "ipc", "mean_latency_ps", "p99_latency_ps",
+		"copy_fraction", "instructions", "mem_requests", "migrations",
+		"regular_bytes", "copy_bytes", "energy_pj",
+	}); err != nil {
+		return err
+	}
+	for i, c := range cells {
+		r := reports[i]
+		rec := []string{
+			strconv.Itoa(c.Index),
+			c.Platform.String(),
+			c.Mode.String(),
+			c.Workload,
+			strconv.Itoa(c.Config.Optical.Waveguides),
+			strconv.FormatInt(int64(r.Elapsed), 10),
+			strconv.FormatFloat(r.IPC, 'g', -1, 64),
+			strconv.FormatInt(int64(r.MeanLatency), 10),
+			strconv.FormatInt(int64(r.P99Latency), 10),
+			strconv.FormatFloat(r.CopyFraction, 'g', -1, 64),
+			strconv.FormatUint(r.Instructions, 10),
+			strconv.FormatUint(r.MemRequests, 10),
+			strconv.FormatUint(r.Migrations, 10),
+			strconv.FormatUint(r.RegularBytes, 10),
+			strconv.FormatUint(r.CopyBytes, 10),
+			strconv.FormatFloat(r.TotalEnergyPJ(), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "ohmbatch: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,10 +6,12 @@
 //
 //	ohmsim -platform ohm-bw -mode planar -workload pagerank
 //	ohmsim -platform oracle -mode two-level -workload lud -instr 40000
+//	ohmsim -json -platform ohm-wom -workload sssp
 //	ohmsim -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,17 +19,8 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/stats"
 )
-
-var platformNames = map[string]config.Platform{
-	"origin":   config.Origin,
-	"hetero":   config.Hetero,
-	"ohm-base": config.OhmBase,
-	"auto-rw":  config.AutoRW,
-	"ohm-wom":  config.OhmWOM,
-	"ohm-bw":   config.OhmBW,
-	"oracle":   config.Oracle,
-}
 
 func main() {
 	platform := flag.String("platform", "ohm-bw", "platform: origin|hetero|ohm-base|auto-rw|ohm-wom|ohm-bw|oracle")
@@ -35,6 +28,7 @@ func main() {
 	workload := flag.String("workload", "pagerank", "Table II workload name")
 	instr := flag.Int("instr", 0, "instructions per warp (0 = default 20000)")
 	waveguides := flag.Int("waveguides", 0, "optical waveguides (0 = default 1)")
+	asJSON := flag.Bool("json", false, "emit the full report as JSON instead of the text block")
 	list := flag.Bool("list", false, "list platforms, modes and workloads, then exit")
 	flag.Parse()
 
@@ -45,17 +39,12 @@ func main() {
 		return
 	}
 
-	p, ok := platformNames[strings.ToLower(*platform)]
-	if !ok {
+	p, err := config.ParsePlatform(*platform)
+	if err != nil {
 		fatalf("unknown platform %q (try -list)", *platform)
 	}
-	var m config.MemMode
-	switch strings.ToLower(*mode) {
-	case "planar":
-		m = config.Planar
-	case "two-level", "twolevel", "2lm":
-		m = config.TwoLevel
-	default:
+	m, err := config.ParseMode(*mode)
+	if err != nil {
 		fatalf("unknown mode %q (planar|two-level)", *mode)
 	}
 
@@ -74,6 +63,31 @@ func main() {
 	rep, err := sys.RunWorkload(*workload)
 	if err != nil {
 		fatalf("%v (try -list)", err)
+	}
+
+	if *asJSON {
+		doc := jsonReport{
+			Platform: p.String(),
+			Mode:     m.String(),
+			Workload: *workload,
+			Report:   rep,
+			Devices: deviceCounters{
+				MCReads:        sys.Col.Reads,
+				MCWrites:       sys.Col.Writes,
+				DRAMReads:      sys.Mem.DRAMReads,
+				DRAMWrites:     sys.Mem.DRAMWrites,
+				XPointReads:    sys.Mem.XPointReads,
+				XPointWrites:   sys.Mem.XPointWrites,
+				MigratedBytes:  sys.Col.MigratedBytes,
+				DualRouteBytes: sys.Col.DualRouteBytes,
+			},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fatalf("%v", err)
+		}
+		return
 	}
 
 	fmt.Printf("platform       %s\n", p)
@@ -99,6 +113,28 @@ func main() {
 		fmt.Printf("  %-14s %14.0f (%.1f%%)\n", k, v, 100*v/total)
 	}
 	fmt.Printf("  %-14s %14.0f\n", "total", total)
+}
+
+// jsonReport is the machine-readable form of one run: the cell identity,
+// the full stats.Report, and the device-level counters the text block
+// prints from simulator internals.
+type jsonReport struct {
+	Platform string         `json:"platform"`
+	Mode     string         `json:"mode"`
+	Workload string         `json:"workload"`
+	Report   stats.Report   `json:"report"`
+	Devices  deviceCounters `json:"devices"`
+}
+
+type deviceCounters struct {
+	MCReads        uint64 `json:"mc_reads"`
+	MCWrites       uint64 `json:"mc_writes"`
+	DRAMReads      uint64 `json:"dram_reads"`
+	DRAMWrites     uint64 `json:"dram_writes"`
+	XPointReads    uint64 `json:"xpoint_reads"`
+	XPointWrites   uint64 `json:"xpoint_writes"`
+	MigratedBytes  uint64 `json:"migrated_bytes"`
+	DualRouteBytes uint64 `json:"dual_route_bytes"`
 }
 
 func fatalf(format string, args ...interface{}) {

@@ -1,0 +1,324 @@
+package batch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// fakeRun is a deterministic, instant RunFunc for engine-mechanics tests.
+func fakeRun(cfg config.Config, workload string) (stats.Report, error) {
+	return stats.Report{
+		IPC:         float64(cfg.Platform) + float64(len(workload)),
+		Elapsed:     sim.Time(cfg.MaxInstructions) * sim.Nanosecond,
+		MeanLatency: sim.Time(cfg.Optical.Waveguides) * sim.Microsecond,
+		EnergyPJ:    map[string]float64{"laser": float64(cfg.Mode) + 1},
+		Extra:       map[string]float64{},
+	}, nil
+}
+
+func TestSpecCellsDeterministicOrder(t *testing.T) {
+	spec := SweepSpec{
+		Platforms:       []config.Platform{config.OhmBase, config.OhmBW},
+		Modes:           []config.MemMode{config.Planar, config.TwoLevel},
+		Workloads:       []string{"lud", "sssp"},
+		Waveguides:      []int{1, 4},
+		MaxInstructions: 500,
+	}
+	cells := spec.Cells()
+	if len(cells) != 2*2*2*2 {
+		t.Fatalf("cells = %d, want 16", len(cells))
+	}
+	// Modes outermost, then waveguides, platforms, workloads.
+	want0 := "Ohm-base/planar/lud"
+	if cells[0].String() != want0 {
+		t.Fatalf("cells[0] = %s, want %s", cells[0], want0)
+	}
+	if cells[0].Config.Optical.Waveguides != 1 || cells[2].Config.Optical.Waveguides != 1 {
+		t.Fatal("waveguide override misplaced")
+	}
+	if cells[4].Config.Optical.Waveguides != 4 {
+		t.Fatalf("cells[4] waveguides = %d, want 4", cells[4].Config.Optical.Waveguides)
+	}
+	if cells[8].Mode != config.TwoLevel {
+		t.Fatalf("cells[8] mode = %s, want two-level", cells[8].Mode)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cells[%d].Index = %d", i, c.Index)
+		}
+		if c.Config.MaxInstructions != 500 {
+			t.Fatal("MaxInstructions override lost")
+		}
+	}
+	// Expansion is itself deterministic.
+	again := spec.Cells()
+	if !reflect.DeepEqual(cells, again) {
+		t.Fatal("two expansions of one spec differ")
+	}
+}
+
+func TestSpecDefaultsToFullPaperGrid(t *testing.T) {
+	cells := SweepSpec{}.Cells()
+	if len(cells) != 7*2*10 {
+		t.Fatalf("default grid = %d cells, want 140", len(cells))
+	}
+	for _, c := range cells {
+		if err := c.Config.Validate(); err != nil {
+			t.Fatalf("%s: %v", c, err)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := SweepSpec{
+		Platforms:       []config.Platform{config.Origin, config.OhmWOM},
+		Modes:           []config.MemMode{config.TwoLevel},
+		Workloads:       []string{"pagerank"},
+		Waveguides:      []int{2, 8},
+		MaxInstructions: 1234,
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SweepSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("round trip lost data:\n%+v\n%+v", spec, back)
+	}
+	if err := json.Unmarshal([]byte(`{"platforms":["nope"]}`), &back); err == nil {
+		t.Fatal("accepted unknown platform name")
+	}
+}
+
+func TestCellKeyDiscriminates(t *testing.T) {
+	base := Cell{Config: config.Default(config.OhmBW, config.Planar), Workload: "lud"}
+	k0, err := base.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := base
+	if k, _ := same.Key(); k != k0 {
+		t.Fatal("identical cells hash differently")
+	}
+	workload := base
+	workload.Workload = "sssp"
+	salt := base
+	salt.Salt = "variant"
+	knob := base
+	knob.Config.Optical.Waveguides = 3
+	instr := base
+	instr.Config.MaxInstructions = 999
+	seen := map[string]string{k0: "base"}
+	for _, c := range []struct {
+		name string
+		cell Cell
+	}{{"workload", workload}, {"salt", salt}, {"knob", knob}, {"instr", instr}} {
+		k, err := c.cell.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("%s collides with %s", c.name, prev)
+		}
+		seen[k] = c.name
+	}
+}
+
+// runAll executes the spec with the given worker count and fake runner,
+// returning the serialized results for byte-comparison.
+func runAll(t *testing.T, workers int, cache Cache, run RunFunc, cells []Cell) []byte {
+	t.Helper()
+	r := &Runner{Workers: workers, Cache: cache, RunFn: run}
+	reps, err := r.Run(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestParallelMatchesSerialByteIdentical(t *testing.T) {
+	spec := SweepSpec{
+		Platforms:  []config.Platform{config.Origin, config.Hetero, config.OhmBW},
+		Modes:      config.AllModes(),
+		Workloads:  []string{"lud", "sssp", "pagerank"},
+		Waveguides: []int{1, 2},
+	}
+	cells := spec.Cells()
+	serial := runAll(t, 1, nil, fakeRun, cells)
+	parallel := runAll(t, 8, nil, fakeRun, cells)
+	if string(serial) != string(parallel) {
+		t.Fatal("parallel sweep output differs from serial")
+	}
+	// And with a shared cache in the loop (parallel writes, then reads).
+	cache := NewMemCache()
+	first := runAll(t, 8, cache, fakeRun, cells)
+	warm := runAll(t, 8, cache, fakeRun, cells)
+	if string(first) != string(serial) || string(warm) != string(serial) {
+		t.Fatal("cached results differ from uncached")
+	}
+}
+
+// TestParallelMatchesSerialRealSim runs genuine simulations through both a
+// serial and a parallel runner and requires byte-identical reports — the
+// acceptance criterion that makes the worker pool safe to put under every
+// figure driver. Origin is included deliberately: its host-spill path once
+// picked eviction victims by map iteration order, which made repeated runs
+// of one config diverge.
+func TestParallelMatchesSerialRealSim(t *testing.T) {
+	spec := SweepSpec{
+		Platforms:       []config.Platform{config.Origin, config.OhmBase, config.OhmBW},
+		Modes:           []config.MemMode{config.Planar},
+		Workloads:       []string{"lud", "bfstopo"},
+		MaxInstructions: 400,
+	}
+	cells := spec.Cells()
+	serial := runAll(t, 1, nil, nil, cells) // nil RunFn = core.RunConfig
+	parallel := runAll(t, 4, nil, nil, cells)
+	if string(serial) != string(parallel) {
+		t.Fatal("parallel real-sim sweep output differs from serial")
+	}
+	// Re-running the sweep in the same process must also be identical:
+	// result caching assumes the simulator is a pure function of the
+	// config, so any hidden global state is a correctness bug here.
+	again := runAll(t, 4, nil, nil, cells)
+	if string(serial) != string(again) {
+		t.Fatal("re-running the sweep in-process changed results")
+	}
+}
+
+func TestWarmCacheSkipsSimulation(t *testing.T) {
+	var calls atomic.Int64
+	counting := func(cfg config.Config, w string) (stats.Report, error) {
+		calls.Add(1)
+		return fakeRun(cfg, w)
+	}
+	spec := SweepSpec{
+		Platforms: []config.Platform{config.OhmBase, config.Oracle},
+		Modes:     []config.MemMode{config.Planar},
+		Workloads: []string{"lud", "sssp"},
+	}
+	cache, err := NewDiskCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := &Runner{Workers: 4, Cache: cache, RunFn: counting}
+	if _, err := cold.Run(spec.Cells()); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("cold run simulated %d cells, want 4", got)
+	}
+	if st := cold.Stats(); st.Hits != 0 || st.Misses != 4 {
+		t.Fatalf("cold stats = %+v", st)
+	}
+
+	warm := &Runner{Workers: 4, Cache: cache, RunFn: counting}
+	reps, err := warm.Run(spec.Cells())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("warm run re-simulated: %d total calls, want 4", got)
+	}
+	if st := warm.Stats(); st.Hits != 4 || st.Misses != 0 {
+		t.Fatalf("warm stats = %+v", st)
+	}
+	if reps[0].EnergyPJ["laser"] != float64(config.Planar)+1 {
+		t.Fatal("cached report lost its energy map")
+	}
+}
+
+func TestCustomRunFnCaching(t *testing.T) {
+	var calls atomic.Int64
+	custom := func(cfg config.Config, w string) (stats.Report, error) {
+		calls.Add(1)
+		return fakeRun(cfg, w)
+	}
+	cfg := config.Default(config.OhmBW, config.Planar)
+	unsalted := Cell{Config: cfg, Workload: "lud", RunFn: custom}
+	salted := Cell{Config: cfg, Workload: "lud", Salt: "variant", RunFn: custom}
+
+	r := &Runner{Workers: 1, Cache: NewMemCache()}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Run([]Cell{unsalted, salted}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unsalted closures are opaque: never cached, so they ran twice. The
+	// salted variant cached after its first run.
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("calls = %d, want 3 (2 unsalted + 1 salted)", got)
+	}
+}
+
+func TestRunReportsLowestFailingCell(t *testing.T) {
+	boom := errors.New("boom")
+	run := func(cfg config.Config, w string) (stats.Report, error) {
+		if cfg.Platform == config.Hetero {
+			return stats.Report{}, boom
+		}
+		return fakeRun(cfg, w)
+	}
+	cells := SweepSpec{
+		Platforms: []config.Platform{config.Origin, config.Hetero, config.OhmBW},
+		Modes:     []config.MemMode{config.Planar},
+		Workloads: []string{"lud", "sssp"},
+	}.Cells()
+	r := &Runner{Workers: 4, RunFn: run}
+	_, err := r.Run(cells)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	want := fmt.Sprintf("cell 2 (%s)", cells[2])
+	if got := err.Error(); !strings.Contains(got, want) {
+		t.Fatalf("err %q does not name the lowest failing cell %q", got, want)
+	}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	cache, err := NewDiskCache(filepath.Join(t.TempDir(), "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := stats.Report{
+		IPC:      3.25,
+		Elapsed:  42 * sim.Microsecond,
+		EnergyPJ: map[string]float64{"dram": 1.5, "laser": 2.25},
+		Extra:    map[string]float64{"l1-hit-rate": 0.5},
+	}
+	key, err := Cell{Config: config.Default(config.Origin, config.Planar), Workload: "lud"}.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	if err := cache.Put(key, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, ok := cache.Get(key)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if !reflect.DeepEqual(rep, back) {
+		t.Fatalf("round trip changed report:\n%+v\n%+v", rep, back)
+	}
+}

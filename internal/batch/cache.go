@@ -1,0 +1,159 @@
+package batch
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// keyVersion invalidates every cached result when the simulator's
+// observable behaviour changes; bump it alongside model changes that alter
+// reports without altering config.Config.
+const keyVersion = "ohm-batch-v1"
+
+// Key returns the cell's content address: a hash of the fully-resolved
+// configuration, the workload name and the variant salt. Two cells with
+// equal keys produce byte-identical reports (the simulator is deterministic
+// and seeded from the config), which is what makes the cache safe.
+func (c Cell) Key() (string, error) {
+	cfg, err := json.Marshal(c.Config)
+	if err != nil {
+		return "", fmt.Errorf("batch: hash config: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(keyVersion))
+	h.Write([]byte{0})
+	h.Write(cfg)
+	h.Write([]byte{0})
+	h.Write([]byte(c.Workload))
+	h.Write([]byte{0})
+	h.Write([]byte(c.Salt))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// cacheable reports whether the cell's key fully determines its result: a
+// default-run cell always is; a custom RunFn is opaque, so it must declare
+// a Salt naming its variant to opt in.
+func (c Cell) cacheable() bool {
+	return c.RunFn == nil || c.Salt != ""
+}
+
+// Cache stores marshaled stats.Report values under content-address keys.
+// Both implementations store the serialized form so cached and fresh
+// results are interchangeable (no shared map aliasing between callers).
+type Cache interface {
+	Get(key string) (stats.Report, bool)
+	Put(key string, rep stats.Report) error
+}
+
+// MemCache is a process-wide in-memory cache; experiments share one so
+// overlapping figures (16-19 visit many of the same cells) run each cell
+// once per process.
+type MemCache struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemCache returns an empty in-memory cache.
+func NewMemCache() *MemCache {
+	return &MemCache{m: make(map[string][]byte)}
+}
+
+// Get decodes the stored report, if any.
+func (c *MemCache) Get(key string) (stats.Report, bool) {
+	c.mu.RLock()
+	data, ok := c.m[key]
+	c.mu.RUnlock()
+	if !ok {
+		return stats.Report{}, false
+	}
+	var rep stats.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return stats.Report{}, false
+	}
+	return rep, true
+}
+
+// Put stores the report's serialized form.
+func (c *MemCache) Put(key string, rep stats.Report) error {
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.m[key] = data
+	c.mu.Unlock()
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (c *MemCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// DiskCache is the on-disk result cache: one JSON file per cell, named by
+// its content address, sharded by the key's first byte to keep directories
+// small. Writes go through a temp file + rename so a crashed run never
+// leaves a torn entry.
+type DiskCache struct {
+	Dir string
+}
+
+// NewDiskCache opens (creating if needed) a cache rooted at dir.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("batch: cache dir: %w", err)
+	}
+	return &DiskCache{Dir: dir}, nil
+}
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.Dir, key[:2], key+".json")
+}
+
+// Get loads a cached report; a missing or unreadable entry is a miss.
+func (c *DiskCache) Get(key string) (stats.Report, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return stats.Report{}, false
+	}
+	var rep stats.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return stats.Report{}, false
+	}
+	return rep, true
+}
+
+// Put writes the report atomically under its key.
+func (c *DiskCache) Put(key string, rep stats.Report) error {
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return err
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), p)
+}

@@ -1,0 +1,149 @@
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Runner executes sweep cells on a pool of worker goroutines. Each cell is
+// an independent single-threaded simulation, so the sweep is embarrassingly
+// parallel; results are returned in cell order regardless of completion
+// order, so parallel and serial runs of the same spec are byte-identical.
+type Runner struct {
+	// Workers caps pool size; <=0 means GOMAXPROCS.
+	Workers int
+	// Cache, when non-nil, short-circuits cells whose content address has a
+	// stored report and stores fresh results.
+	Cache Cache
+	// RunFn executes a cell without its own RunFn; nil means core.RunConfig.
+	// Tests inject counters here to prove warm-cache runs never simulate.
+	RunFn RunFunc
+
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	putErrs atomic.Uint64
+}
+
+// NewRunner returns a Runner with the given pool size and cache (both may
+// be zero values).
+func NewRunner(workers int, cache Cache) *Runner {
+	return &Runner{Workers: workers, Cache: cache}
+}
+
+// Stats reports cache traffic since the Runner was created: hits served
+// from the cache, misses that ran a simulation, and store failures that
+// were tolerated (the result was still returned).
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	PutErrors uint64
+}
+
+// Stats returns the accumulated counters.
+func (r *Runner) Stats() Stats {
+	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load(), PutErrors: r.putErrs.Load()}
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunSpec expands the spec and runs its cells.
+func (r *Runner) RunSpec(spec SweepSpec) ([]stats.Report, error) {
+	return r.Run(spec.Cells())
+}
+
+// Run executes every cell and returns reports positionally aligned with
+// cells. On failure it returns the error of the lowest-indexed failing
+// cell, wrapped with the cell's identity; all in-flight cells still drain.
+func (r *Runner) Run(cells []Cell) ([]stats.Report, error) {
+	reports := make([]stats.Report, len(cells))
+	errs := make([]error, len(cells))
+
+	n := r.workers()
+	if n > len(cells) {
+		n = len(cells)
+	}
+	if n <= 1 {
+		for i := range cells {
+			reports[i], errs[i] = r.runCell(cells[i])
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for w := 0; w < n; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					reports[i], errs[i] = r.runCell(cells[i])
+				}
+			}()
+		}
+		for i := range cells {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("batch: cell %d (%s): %w", i, cells[i], err)
+		}
+	}
+	return reports, nil
+}
+
+// runCell resolves one cell: cache lookup, then simulation, then store.
+func (r *Runner) runCell(c Cell) (stats.Report, error) {
+	var key string
+	if r.Cache != nil && c.cacheable() {
+		k, err := c.Key()
+		if err != nil {
+			return stats.Report{}, err
+		}
+		key = k
+		if rep, ok := r.Cache.Get(key); ok {
+			r.hits.Add(1)
+			return rep, nil
+		}
+	}
+	r.misses.Add(1)
+
+	run := c.RunFn
+	if run == nil {
+		run = r.RunFn
+	}
+	if run == nil {
+		run = core.RunConfig
+	}
+	rep, err := run(c.Config, c.Workload)
+	if err != nil {
+		return stats.Report{}, err
+	}
+	if key != "" {
+		// The cache is an optimization, not a correctness dependency: a
+		// failed Put (full disk, lost permissions) must not discard a
+		// successfully computed result, so it only bumps a counter the
+		// caller can surface.
+		if err := r.Cache.Put(key, rep); err != nil {
+			r.putErrs.Add(1)
+			return rep, nil
+		}
+		// Serve the stored form so cached and fresh paths are identical
+		// byte-for-byte (JSON round-tripping normalizes empty maps).
+		if cached, ok := r.Cache.Get(key); ok {
+			return cached, nil
+		}
+	}
+	return rep, nil
+}

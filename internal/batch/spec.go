@@ -1,0 +1,178 @@
+// Package batch is the parallel sweep engine behind every evaluation grid:
+// a declarative SweepSpec expands to a deterministic list of simulation
+// cells, a worker-pool Runner executes the cells concurrently across
+// GOMAXPROCS goroutines (each cell is an independent single-threaded
+// discrete-event run), and a content-addressed result cache keyed by the
+// fully-resolved configuration makes repeated sweeps and overlapping
+// figures near-free. cmd/ohmbatch drives it from the command line;
+// internal/experiments builds all figure grids on top of it.
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// Cell is one fully-resolved simulation to run: a complete config plus a
+// workload name. The zero RunFn means core.RunConfig; experiments install
+// closures when a cell needs a custom host model or trace, in which case
+// Salt must name the variant for the result cache (an empty Salt disables
+// caching for that cell, since the key cannot see inside a closure).
+type Cell struct {
+	Index    int             `json:"index"`
+	Platform config.Platform `json:"-"`
+	Mode     config.MemMode  `json:"-"`
+	Workload string          `json:"workload"`
+	Config   config.Config   `json:"-"`
+	Salt     string          `json:"salt,omitempty"`
+	RunFn    RunFunc         `json:"-"`
+}
+
+// RunFunc executes one cell and returns its report.
+type RunFunc func(cfg config.Config, workload string) (stats.Report, error)
+
+// String identifies the cell in errors and logs.
+func (c Cell) String() string {
+	s := fmt.Sprintf("%s/%s/%s", c.Platform, c.Mode, c.Workload)
+	if c.Salt != "" {
+		s += "#" + c.Salt
+	}
+	return s
+}
+
+// SweepSpec declares an evaluation grid: the cross product of platforms,
+// memory modes, workloads and optional config-override axes. Specs are
+// JSON-serializable (platforms and modes by their paper names) so sweeps
+// can be checked into files and replayed by cmd/ohmbatch.
+type SweepSpec struct {
+	Platforms []config.Platform `json:"-"`
+	Modes     []config.MemMode  `json:"-"`
+	Workloads []string          `json:"workloads,omitempty"`
+
+	// Waveguides sweeps the optical waveguide count (Figure 20a's axis);
+	// empty means the platform default.
+	Waveguides []int `json:"waveguides,omitempty"`
+
+	// MaxInstructions overrides the per-warp instruction budget on every
+	// cell; 0 keeps the config default.
+	MaxInstructions int `json:"max_instructions,omitempty"`
+}
+
+// specJSON is the wire form of SweepSpec with names instead of enums.
+type specJSON struct {
+	Platforms       []string `json:"platforms,omitempty"`
+	Modes           []string `json:"modes,omitempty"`
+	Workloads       []string `json:"workloads,omitempty"`
+	Waveguides      []int    `json:"waveguides,omitempty"`
+	MaxInstructions int      `json:"max_instructions,omitempty"`
+}
+
+// MarshalJSON writes platforms and modes by name.
+func (s SweepSpec) MarshalJSON() ([]byte, error) {
+	w := specJSON{
+		Workloads:       s.Workloads,
+		Waveguides:      s.Waveguides,
+		MaxInstructions: s.MaxInstructions,
+	}
+	for _, p := range s.Platforms {
+		w.Platforms = append(w.Platforms, p.String())
+	}
+	for _, m := range s.Modes {
+		w.Modes = append(w.Modes, m.String())
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON parses platform and mode names (ohmsim's spellings).
+func (s *SweepSpec) UnmarshalJSON(data []byte) error {
+	var w specJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*s = SweepSpec{
+		Workloads:       w.Workloads,
+		Waveguides:      w.Waveguides,
+		MaxInstructions: w.MaxInstructions,
+	}
+	for _, name := range w.Platforms {
+		p, err := config.ParsePlatform(name)
+		if err != nil {
+			return err
+		}
+		s.Platforms = append(s.Platforms, p)
+	}
+	for _, name := range w.Modes {
+		m, err := config.ParseMode(name)
+		if err != nil {
+			return err
+		}
+		s.Modes = append(s.Modes, m)
+	}
+	return nil
+}
+
+// LoadSpec reads a SweepSpec from a JSON file.
+func LoadSpec(path string) (SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return SweepSpec{}, err
+	}
+	var s SweepSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return SweepSpec{}, fmt.Errorf("batch: spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// withDefaults fills empty axes with the full paper grid.
+func (s SweepSpec) withDefaults() SweepSpec {
+	if len(s.Platforms) == 0 {
+		s.Platforms = config.AllPlatforms()
+	}
+	if len(s.Modes) == 0 {
+		s.Modes = config.AllModes()
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = config.WorkloadNames()
+	}
+	return s
+}
+
+// Cells expands the spec into its deterministic cell list: modes outermost,
+// then waveguide settings, platforms, workloads — the iteration order every
+// consumer (and the result ordering) can rely on.
+func (s SweepSpec) Cells() []Cell {
+	s = s.withDefaults()
+	wgs := s.Waveguides
+	if len(wgs) == 0 {
+		wgs = []int{0} // 0 = platform default
+	}
+	var cells []Cell
+	for _, m := range s.Modes {
+		for _, wg := range wgs {
+			for _, p := range s.Platforms {
+				for _, w := range s.Workloads {
+					cfg := config.Default(p, m)
+					if wg > 0 {
+						cfg.Optical.Waveguides = wg
+					}
+					if s.MaxInstructions > 0 {
+						cfg.MaxInstructions = s.MaxInstructions
+					}
+					cells = append(cells, Cell{
+						Index:    len(cells),
+						Platform: p,
+						Mode:     m,
+						Workload: w,
+						Config:   cfg,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}

@@ -7,6 +7,7 @@ package config
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/sim"
 )
@@ -50,6 +51,36 @@ func (p Platform) String() string {
 // AllPlatforms lists the seven platforms in the paper's order.
 func AllPlatforms() []Platform {
 	return []Platform{Origin, Hetero, OhmBase, AutoRW, OhmWOM, OhmBW, Oracle}
+}
+
+// ParsePlatform resolves a platform from its paper name (case-insensitive,
+// "-" and "_" interchangeable): "origin", "hetero", "ohm-base", "auto-rw",
+// "ohm-wom", "ohm-bw", "oracle".
+func ParsePlatform(name string) (Platform, error) {
+	n := normalizeName(name)
+	for _, p := range AllPlatforms() {
+		if normalizeName(p.String()) == n {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("config: unknown platform %q", name)
+}
+
+// ParseMode resolves a memory mode from its name: "planar", "two-level"
+// (also "twolevel" or "2lm").
+func ParseMode(name string) (MemMode, error) {
+	switch normalizeName(name) {
+	case "planar":
+		return Planar, nil
+	case "two-level", "twolevel", "2lm":
+		return TwoLevel, nil
+	}
+	return 0, fmt.Errorf("config: unknown memory mode %q (planar|two-level)", name)
+}
+
+// normalizeName lower-cases and folds "_" into "-" for flag-friendly names.
+func normalizeName(s string) string {
+	return strings.ReplaceAll(strings.ToLower(s), "_", "-")
 }
 
 // OpticalPlatforms lists the platforms whose memory channel is optical.

@@ -4,16 +4,26 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
 // This file holds the ablation studies DESIGN.md calls out: design choices
 // the paper fixes that our implementation exposes as knobs. Each ablation
 // runs the Ohm-BW planar platform with one knob varied and reports the IPC
-// and wear/latency consequences.
+// and wear/latency consequences. Every ablation submits its settings to the
+// batch runner as one parallel sweep; settings that need simulator
+// internals (wear counters, MSHR merges, VC borrows) export them through
+// the report's Extra map under the ablExtraPrefix namespace.
+
+// ablExtraPrefix namespaces ablation metrics inside stats.Report.Extra so
+// they survive the result cache and are separable from the run-wide extras
+// (cache hit rates) every report carries.
+const ablExtraPrefix = "abl:"
 
 // AblationRow is one knob setting's outcome.
 type AblationRow struct {
@@ -45,174 +55,192 @@ func (r *AblationResult) Render() string {
 	return b.String()
 }
 
-// ablate runs one configured system on a workload and records the row.
-func ablate(cfg config.Config, workload, setting string) (AblationRow, error) {
-	sys, err := core.NewSystem(cfg)
-	if err != nil {
-		return AblationRow{}, err
+// ablationCell is one knob setting awaiting execution.
+type ablationCell struct {
+	setting string
+	cell    batch.Cell
+}
+
+// ablationResult runs the settings' cells as one parallel batch and folds
+// each report into a row, extracting the namespaced ablation extras.
+func ablationResult(title string, acs []ablationCell) (*AblationResult, error) {
+	cells := make([]batch.Cell, len(acs))
+	for i, ac := range acs {
+		cells[i] = ac.cell
 	}
-	rep, err := sys.RunWorkload(workload)
+	reps, err := runCells(cells)
 	if err != nil {
-		return AblationRow{}, err
+		return nil, err
 	}
-	return AblationRow{
-		Setting:     setting,
-		IPC:         rep.IPC,
-		MeanLatency: rep.MeanLatency,
-		Migrations:  rep.Migrations,
-		Extra:       map[string]float64{},
-	}, nil
+	res := &AblationResult{Title: title}
+	for i, rep := range reps {
+		extra := map[string]float64{}
+		for k, v := range rep.Extra {
+			if strings.HasPrefix(k, ablExtraPrefix) {
+				extra[strings.TrimPrefix(k, ablExtraPrefix)] = v
+			}
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Setting:     acs[i].setting,
+			IPC:         rep.IPC,
+			MeanLatency: rep.MeanLatency,
+			Migrations:  rep.Migrations,
+			Extra:       extra,
+		})
+	}
+	return res, nil
+}
+
+// ohmBWCell builds an Ohm-BW/planar cell with the knob applied by mutate.
+func ohmBWCell(o Options, workload string, mutate func(*config.Config)) batch.Cell {
+	cfg := config.Default(config.OhmBW, config.Planar)
+	mutate(&cfg)
+	o.apply(&cfg)
+	return batch.Cell{Platform: config.OhmBW, Mode: config.Planar, Workload: workload, Config: cfg}
 }
 
 // AblationHotThreshold sweeps the planar hot-page detector's threshold:
 // migrate too eagerly and swaps saturate the memory route; too lazily and
 // the hot set stays in XPoint.
 func AblationHotThreshold(o Options, workload string) (*AblationResult, error) {
-	res := &AblationResult{Title: "Ablation — planar hot-page threshold (Ohm-BW, " + workload + ")"}
+	var acs []ablationCell
 	for _, th := range []int{2, 4, 8, 16, 32, 64} {
-		cfg := config.Default(config.OhmBW, config.Planar)
-		cfg.Memory.HotThreshold = th
-		o.apply(&cfg)
-		row, err := ablate(cfg, workload, fmt.Sprintf("threshold=%d", th))
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		th := th
+		acs = append(acs, ablationCell{
+			setting: fmt.Sprintf("threshold=%d", th),
+			cell:    ohmBWCell(o, workload, func(c *config.Config) { c.Memory.HotThreshold = th }),
+		})
 	}
-	return res, nil
+	return ablationResult("Ablation — planar hot-page threshold (Ohm-BW, "+workload+")", acs)
 }
 
 // AblationPageSize sweeps the migration granularity: bigger pages amortize
 // command overhead but move more dead bytes per swap.
 func AblationPageSize(o Options, workload string) (*AblationResult, error) {
-	res := &AblationResult{Title: "Ablation — migration page size (Ohm-BW, planar, " + workload + ")"}
+	var acs []ablationCell
 	for _, pb := range []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10} {
-		cfg := config.Default(config.OhmBW, config.Planar)
-		cfg.Memory.PageBytes = pb
-		o.apply(&cfg)
-		row, err := ablate(cfg, workload, fmt.Sprintf("page=%dKiB", pb>>10))
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		pb := pb
+		acs = append(acs, ablationCell{
+			setting: fmt.Sprintf("page=%dKiB", pb>>10),
+			cell:    ohmBWCell(o, workload, func(c *config.Config) { c.Memory.PageBytes = pb }),
+		})
 	}
-	return res, nil
+	return ablationResult("Ablation — migration page size (Ohm-BW, planar, "+workload+")", acs)
+}
+
+// runMaxWear executes a cell's config and folds the worst per-line XPoint
+// wear across controllers into the report.
+func runMaxWear(cfg config.Config, workload string) (stats.Report, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return stats.Report{}, err
+	}
+	rep, err := sys.RunWorkload(workload)
+	if err != nil {
+		return stats.Report{}, err
+	}
+	var maxWear uint64
+	for mc := 0; mc < cfg.GPU.MemCtrls; mc++ {
+		if xc := sys.Mem.XPointAt(mc); xc != nil {
+			if w := xc.Wear().Max; w > maxWear {
+				maxWear = w
+			}
+		}
+	}
+	rep.Extra[ablExtraPrefix+"max-wear"] = float64(maxWear)
+	return rep, nil
 }
 
 // AblationStartGap compares Start-Gap wear levelling against a static
 // layout: performance cost vs maximum wear.
 func AblationStartGap(o Options, workload string) (*AblationResult, error) {
-	res := &AblationResult{Title: "Ablation — Start-Gap wear levelling (Ohm-BW, planar, " + workload + ")"}
+	var acs []ablationCell
 	for _, k := range []int{0, 10, 100, 1000} {
-		cfg := config.Default(config.OhmBW, config.Planar)
-		cfg.XPoint.StartGapK = k
-		o.apply(&cfg)
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		rep, err := sys.RunWorkload(workload)
-		if err != nil {
-			return nil, err
-		}
-		var maxWear uint64
-		for mc := 0; mc < cfg.GPU.MemCtrls; mc++ {
-			if xc := sys.Mem.XPointAt(mc); xc != nil {
-				if w := xc.Wear().Max; w > maxWear {
-					maxWear = w
-				}
-			}
-		}
+		k := k
 		setting := fmt.Sprintf("K=%d", k)
 		if k == 0 {
 			setting = "disabled"
 		}
-		res.Rows = append(res.Rows, AblationRow{
-			Setting: setting, IPC: rep.IPC, MeanLatency: rep.MeanLatency,
-			Migrations: rep.Migrations,
-			Extra:      map[string]float64{"max-wear": float64(maxWear)},
-		})
+		cell := ohmBWCell(o, workload, func(c *config.Config) { c.XPoint.StartGapK = k })
+		cell.Salt, cell.RunFn = "abl-max-wear", runMaxWear
+		acs = append(acs, ablationCell{setting: setting, cell: cell})
 	}
-	return res, nil
+	return ablationResult("Ablation — Start-Gap wear levelling (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // AblationMSHR quantifies L2 miss coalescing.
 func AblationMSHR(o Options, workload string) (*AblationResult, error) {
-	res := &AblationResult{Title: "Ablation — L2 MSHR coalescing (Ohm-BW, planar, " + workload + ")"}
-	for _, entries := range []int{0, 16, 64, 256} {
-		cfg := config.Default(config.OhmBW, config.Planar)
-		cfg.GPU.MSHREntries = entries
-		o.apply(&cfg)
+	runMerges := func(cfg config.Config, w string) (stats.Report, error) {
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return stats.Report{}, err
 		}
-		rep, err := sys.RunWorkload(workload)
+		rep, err := sys.RunWorkload(w)
 		if err != nil {
-			return nil, err
+			return stats.Report{}, err
 		}
+		rep.Extra[ablExtraPrefix+"merges"] = float64(sys.GPU.MSHRMerges)
+		return rep, nil
+	}
+	var acs []ablationCell
+	for _, entries := range []int{0, 16, 64, 256} {
+		entries := entries
 		setting := fmt.Sprintf("entries=%d", entries)
 		if entries == 0 {
 			setting = "disabled"
 		}
-		res.Rows = append(res.Rows, AblationRow{
-			Setting: setting, IPC: rep.IPC, MeanLatency: rep.MeanLatency,
-			Migrations: rep.Migrations,
-			Extra:      map[string]float64{"merges": float64(sys.GPU.MSHRMerges)},
-		})
+		cell := ohmBWCell(o, workload, func(c *config.Config) { c.GPU.MSHREntries = entries })
+		cell.Salt, cell.RunFn = "abl-mshr-merges", runMerges
+		acs = append(acs, ablationCell{setting: setting, cell: cell})
 	}
-	return res, nil
+	return ablationResult("Ablation — L2 MSHR coalescing (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // AblationChannelDivision compares static wavelength division (Table I's
 // default) against the dynamic borrowing strategy of [38].
 func AblationChannelDivision(o Options, workload string) (*AblationResult, error) {
-	res := &AblationResult{Title: "Ablation — wavelength division strategy (Ohm-BW, planar, " + workload + ")"}
-	for _, dyn := range []bool{false, true} {
-		cfg := config.Default(config.OhmBW, config.Planar)
-		cfg.Optical.DynamicDivision = dyn
-		o.apply(&cfg)
+	runBorrows := func(cfg config.Config, w string) (stats.Report, error) {
 		sys, err := core.NewSystem(cfg)
 		if err != nil {
-			return nil, err
+			return stats.Report{}, err
 		}
-		rep, err := sys.RunWorkload(workload)
+		rep, err := sys.RunWorkload(w)
 		if err != nil {
-			return nil, err
+			return stats.Report{}, err
 		}
+		rep.Extra[ablExtraPrefix+"borrows"] = float64(sys.Mem.Opt.Borrows)
+		return rep, nil
+	}
+	var acs []ablationCell
+	for _, dyn := range []bool{false, true} {
+		dyn := dyn
 		setting := "static"
-		extra := map[string]float64{}
+		cell := ohmBWCell(o, workload, func(c *config.Config) { c.Optical.DynamicDivision = dyn })
 		if dyn {
 			setting = "dynamic"
-			extra["borrows"] = float64(sys.Mem.Opt.Borrows)
+			cell.Salt, cell.RunFn = "abl-vc-borrows", runBorrows
 		}
-		res.Rows = append(res.Rows, AblationRow{
-			Setting: setting, IPC: rep.IPC, MeanLatency: rep.MeanLatency,
-			Migrations: rep.Migrations, Extra: extra,
-		})
+		acs = append(acs, ablationCell{setting: setting, cell: cell})
 	}
-	return res, nil
+	return ablationResult("Ablation — wavelength division strategy (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // AblationNoC compares the constant-latency interconnect against the
 // contention-aware crossbar (internal/noc).
 func AblationNoC(o Options, workload string) (*AblationResult, error) {
-	res := &AblationResult{Title: "Ablation — SM<->L2 interconnect model (Ohm-BW, planar, " + workload + ")"}
+	var acs []ablationCell
 	for _, detailed := range []bool{false, true} {
-		cfg := config.Default(config.OhmBW, config.Planar)
-		cfg.GPU.NoCDetailed = detailed
-		o.apply(&cfg)
+		detailed := detailed
 		setting := "constant-latency"
 		if detailed {
 			setting = "crossbar"
 		}
-		row, err := ablate(cfg, workload, setting)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+		acs = append(acs, ablationCell{
+			setting: setting,
+			cell:    ohmBWCell(o, workload, func(c *config.Config) { c.GPU.NoCDetailed = detailed }),
+		})
 	}
-	return res, nil
+	return ablationResult("Ablation — SM<->L2 interconnect model (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // AblationPhases stresses migration with phase-changing hot sets: the
@@ -223,24 +251,29 @@ func AblationPhases(o Options, workload string) (*AblationResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q", workload)
 	}
-	res := &AblationResult{Title: "Ablation — phase-changing hot sets (Ohm-BW vs Ohm-base, planar, " + workload + ")"}
+	phasedRun := func(phases int) batch.RunFunc {
+		return func(cfg config.Config, _ string) (stats.Report, error) {
+			sys, err := core.NewSystem(cfg)
+			if err != nil {
+				return stats.Report{}, err
+			}
+			return sys.RunTrace(trace.GeneratePhased(w, &cfg, phases)), nil
+		}
+	}
+	var acs []ablationCell
 	for _, phases := range []int{1, 2, 4, 8} {
 		for _, p := range []config.Platform{config.OhmBase, config.OhmBW} {
 			cfg := config.Default(p, config.Planar)
 			o.apply(&cfg)
-			sys, err := core.NewSystem(cfg)
-			if err != nil {
-				return nil, err
-			}
-			rep := sys.RunTrace(trace.GeneratePhased(w, &cfg, phases))
-			res.Rows = append(res.Rows, AblationRow{
-				Setting:     fmt.Sprintf("phases=%d/%s", phases, p),
-				IPC:         rep.IPC,
-				MeanLatency: rep.MeanLatency,
-				Migrations:  rep.Migrations,
-				Extra:       map[string]float64{},
+			acs = append(acs, ablationCell{
+				setting: fmt.Sprintf("phases=%d/%s", phases, p),
+				cell: batch.Cell{
+					Platform: p, Mode: config.Planar, Workload: workload, Config: cfg,
+					Salt:  fmt.Sprintf("abl-phased-%d", phases),
+					RunFn: phasedRun(phases),
+				},
 			})
 		}
 	}
-	return res, nil
+	return ablationResult("Ablation — phase-changing hot sets (Ohm-BW vs Ohm-base, planar, "+workload+")", acs)
 }

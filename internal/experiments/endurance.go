@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // EnduranceRow is one platform's XPoint lifetime projection.
@@ -30,37 +32,62 @@ type EnduranceResult struct {
 	Rows     []EnduranceRow
 }
 
-// Endurance measures per-line wear across the heterogeneous platforms and
-// projects lifetime: endurance budget / worst-line write rate.
+// runWear executes one cell and exports the per-line XPoint wear summary
+// through the report's Extra map so the rows survive the batch boundary
+// (and the result cache).
+func runWear(cfg config.Config, workload string) (stats.Report, error) {
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return stats.Report{}, err
+	}
+	rep, err := sys.RunWorkload(workload)
+	if err != nil {
+		return stats.Report{}, err
+	}
+	var maxWear, total uint64
+	var lines int
+	for mc := 0; mc < cfg.GPU.MemCtrls; mc++ {
+		xc := sys.Mem.XPointAt(mc)
+		if xc == nil {
+			continue
+		}
+		ws := xc.Wear()
+		if ws.Max > maxWear {
+			maxWear = ws.Max
+		}
+		total += ws.Total
+		lines += ws.Lines
+	}
+	rep.Extra[ablExtraPrefix+"max-wear"] = float64(maxWear)
+	rep.Extra[ablExtraPrefix+"total-writes"] = float64(total)
+	rep.Extra[ablExtraPrefix+"wear-lines"] = float64(lines)
+	return rep, nil
+}
+
+// Endurance measures per-line wear across the heterogeneous platforms —
+// one parallel batch — and projects lifetime: endurance budget /
+// worst-line write rate.
 func Endurance(o Options, workload string) (*EnduranceResult, error) {
+	platforms := []config.Platform{config.Hetero, config.OhmBase, config.OhmBW}
+	var cells []batch.Cell
+	for _, p := range platforms {
+		c := o.cell(p, config.Planar, workload)
+		c.Salt, c.RunFn = "endurance-wear", runWear
+		cells = append(cells, c)
+	}
+	reps, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	res := &EnduranceResult{Workload: workload}
-	for _, p := range []config.Platform{config.Hetero, config.OhmBase, config.OhmBW} {
-		cfg := config.Default(p, config.Planar)
-		o.apply(&cfg)
-		sys, err := core.NewSystem(cfg)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := sys.RunWorkload(workload); err != nil {
-			return nil, err
-		}
-		var maxWear, total uint64
-		var lines int
-		for mc := 0; mc < cfg.GPU.MemCtrls; mc++ {
-			xc := sys.Mem.XPointAt(mc)
-			if xc == nil {
-				continue
-			}
-			ws := xc.Wear()
-			if ws.Max > maxWear {
-				maxWear = ws.Max
-			}
-			total += ws.Total
-			lines += ws.Lines
-		}
+	for i, p := range platforms {
+		rep := reps[i]
+		maxWear := uint64(rep.Extra[ablExtraPrefix+"max-wear"])
+		total := uint64(rep.Extra[ablExtraPrefix+"total-writes"])
+		lines := rep.Extra[ablExtraPrefix+"wear-lines"]
 		mean := 0.0
 		if lines > 0 {
-			mean = float64(total) / float64(lines)
+			mean = float64(total) / lines
 		}
 		ratio := 0.0
 		if mean > 0 {
@@ -68,7 +95,7 @@ func Endurance(o Options, workload string) (*EnduranceResult, error) {
 		}
 		runs := 0.0
 		if maxWear > 0 {
-			runs = float64(cfg.XPoint.WearLimit) / float64(maxWear)
+			runs = float64(cells[i].Config.XPoint.WearLimit) / float64(maxWear)
 		}
 		res.Rows = append(res.Rows, EnduranceRow{
 			Platform:     p,

@@ -14,8 +14,8 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/stats"
 )
 
@@ -42,11 +42,32 @@ func (o Options) apply(cfg *config.Config) {
 	}
 }
 
-// run executes one cell (platform, mode, workload) and returns the report.
-func (o Options) run(p config.Platform, m config.MemMode, w string) (stats.Report, error) {
+// sharedRunner is the batch engine every figure driver submits its cells
+// to: full GOMAXPROCS parallelism plus a process-wide in-memory result
+// cache, so figures that visit the same (platform, mode, workload) cell —
+// Figures 16-19 overlap heavily — simulate it once per process.
+var sharedRunner = batch.NewRunner(0, batch.NewMemCache())
+
+// runCells executes cells on the shared parallel runner.
+func runCells(cells []batch.Cell) ([]stats.Report, error) {
+	return sharedRunner.Run(cells)
+}
+
+// cell builds one default-configured sweep cell.
+func (o Options) cell(p config.Platform, m config.MemMode, w string) batch.Cell {
 	cfg := config.Default(p, m)
 	o.apply(&cfg)
-	return core.RunConfig(cfg, w)
+	return batch.Cell{Platform: p, Mode: m, Workload: w, Config: cfg}
+}
+
+// spec declares the option's grid over the given platforms and modes.
+func (o Options) spec(modes []config.MemMode, platforms []config.Platform) batch.SweepSpec {
+	return batch.SweepSpec{
+		Platforms:       platforms,
+		Modes:           modes,
+		Workloads:       o.workloads(),
+		MaxInstructions: o.MaxInstructions,
+	}
 }
 
 // Grid is a workload x column numeric table used by most figures.
@@ -128,18 +149,20 @@ func (g *Grid) Render() string {
 }
 
 // gatherReports runs a set of platforms over the option's workloads for one
-// mode and returns reports[workload][platform].
+// mode — all cells in parallel on the shared runner — and returns
+// reports[workload][platform].
 func (o Options) gatherReports(m config.MemMode, platforms []config.Platform) (map[string]map[config.Platform]stats.Report, error) {
+	cells := o.spec([]config.MemMode{m}, platforms).Cells()
+	reps, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]map[config.Platform]stats.Report)
-	for _, w := range o.workloads() {
-		out[w] = make(map[config.Platform]stats.Report)
-		for _, p := range platforms {
-			rep, err := o.run(p, m, w)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s/%s: %w", p, m, w, err)
-			}
-			out[w][p] = rep
+	for i, c := range cells {
+		if out[c.Workload] == nil {
+			out[c.Workload] = make(map[config.Platform]stats.Report)
 		}
+		out[c.Workload][c.Platform] = reps[i]
 	}
 	return out, nil
 }

@@ -171,8 +171,8 @@ func Fig19(o Options) (*Fig19Result, error) {
 					}
 				}
 				total := 0.0
-				for _, v := range comp {
-					total += v
+				for _, k := range sortedKeys(comp) {
+					total += comp[k]
 				}
 				rows = append(rows, Fig19Row{Workload: w, Platform: p, Components: comp, Total: total})
 			}

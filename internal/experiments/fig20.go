@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/optical"
 )
@@ -21,47 +22,60 @@ type Fig20aRow struct {
 type Fig20aResult struct{ Rows []Fig20aRow }
 
 // Fig20a reproduces Figure 20a for waveguide counts 1..8 in planar mode
-// (where channel bandwidth is the binding resource).
+// (where channel bandwidth is the binding resource). The Hetero reference
+// and the full waveguide sweep are submitted as one parallel batch.
 func Fig20a(o Options) (*Fig20aResult, error) {
-	// Hetero reference, per workload.
-	het := make(map[string]float64)
+	planar := []config.MemMode{config.Planar}
+	var cells []batch.Cell
 	for _, w := range o.workloads() {
-		rep, err := o.run(config.Hetero, config.Planar, w)
-		if err != nil {
-			return nil, err
-		}
-		het[w] = rep.IPC
+		cells = append(cells, o.cell(config.Hetero, config.Planar, w))
+	}
+	nHet := len(cells)
+	sweep := o.spec(planar, []config.Platform{config.OhmBase, config.OhmBW})
+	sweep.Waveguides = []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sweepCells := sweep.Cells()
+	cells = append(cells, sweepCells...)
+
+	reps, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	het := make(map[string]float64, nHet)
+	for i := 0; i < nHet; i++ {
+		het[cells[i].Workload] = reps[i].IPC
 	}
 
+	// Geomean of IPC/Hetero per (waveguides, platform) series.
+	type series struct {
+		wg int
+		p  config.Platform
+	}
+	prod := make(map[series]float64)
+	n := make(map[series]int)
+	for i, c := range sweepCells {
+		if het[c.Workload] <= 0 {
+			continue
+		}
+		s := series{c.Config.Optical.Waveguides, c.Platform}
+		if _, ok := prod[s]; !ok {
+			prod[s] = 1
+		}
+		prod[s] *= reps[nHet+i].IPC / het[c.Workload]
+		n[s]++
+	}
+	gm := func(s series) float64 {
+		if n[s] == 0 {
+			return 0
+		}
+		return math.Pow(prod[s], 1/float64(n[s]))
+	}
 	res := &Fig20aResult{}
 	for wg := 1; wg <= 8; wg++ {
-		row := Fig20aRow{Waveguides: wg}
-		for _, p := range []config.Platform{config.OhmBase, config.OhmBW} {
-			prod, n := 1.0, 0
-			for _, w := range o.workloads() {
-				cfg := config.Default(p, config.Planar)
-				cfg.Optical.Waveguides = wg
-				o.apply(&cfg)
-				rep, err := runCfg(cfg, w)
-				if err != nil {
-					return nil, err
-				}
-				if het[w] > 0 {
-					prod *= rep.IPC / het[w]
-					n++
-				}
-			}
-			v := 0.0
-			if n > 0 {
-				v = math.Pow(prod, 1/float64(n))
-			}
-			if p == config.OhmBase {
-				row.OhmBase = v
-			} else {
-				row.OhmBW = v
-			}
-		}
-		res.Rows = append(res.Rows, row)
+		res.Rows = append(res.Rows, Fig20aRow{
+			Waveguides: wg,
+			OhmBase:    gm(series{wg, config.OhmBase}),
+			OhmBW:      gm(series{wg, config.OhmBW}),
+		})
 	}
 	return res, nil
 }

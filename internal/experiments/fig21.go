@@ -5,17 +5,9 @@ import (
 	"strings"
 
 	"repro/internal/config"
-	"repro/internal/core"
 	"repro/internal/costmodel"
-	"repro/internal/stats"
 	"repro/internal/trace"
 )
-
-// runCfg builds a system from an explicit config and runs one workload —
-// a thin alias shared by the sensitivity and cost experiments.
-func runCfg(cfg config.Config, workload string) (stats.Report, error) {
-	return core.RunConfig(cfg, workload)
-}
 
 // Fig21Row is one workload's cost-performance comparison.
 type Fig21Row struct {
@@ -30,18 +22,20 @@ type Fig21Row struct {
 // Ohm-BW and Oracle, normalized to Origin per workload.
 type Fig21Result struct{ Rows []Fig21Row }
 
-// Fig21 reproduces Figure 21 using the Table III cost estimates.
+// Fig21 reproduces Figure 21 using the Table III cost estimates. The three
+// platforms of both modes run as parallel batch sweeps.
 func Fig21(o Options) (*Fig21Result, error) {
+	platforms := []config.Platform{config.Origin, config.OhmBW, config.Oracle}
 	res := &Fig21Result{}
 	for _, m := range config.AllModes() {
+		reps, err := o.gatherReports(m, platforms)
+		if err != nil {
+			return nil, err
+		}
 		for _, w := range o.workloads() {
 			cp := make(map[config.Platform]float64, 3)
-			for _, p := range []config.Platform{config.Origin, config.OhmBW, config.Oracle} {
-				rep, err := o.run(p, m, w)
-				if err != nil {
-					return nil, err
-				}
-				cp[p] = costmodel.CPRatio(rep.IPC, costmodel.Cost(p, m))
+			for _, p := range platforms {
+				cp[p] = costmodel.CPRatio(reps[w][p].IPC, costmodel.Cost(p, m))
 			}
 			base := cp[config.Origin]
 			if base <= 0 {

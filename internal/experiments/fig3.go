@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/ssd"
+	"repro/internal/stats"
 )
 
 // fig3SSD returns the SSD configuration for the motivation study. The
@@ -65,20 +67,40 @@ type Fig3aResult struct{ Rows []Fig3aRow }
 // DMA pipelines (they overlap each other, so the union is approximated by
 // the longer of the two plus the shorter's non-overlapped half).
 func Fig3a(o Options) (*Fig3aResult, error) {
-	res := &Fig3aResult{}
-	for _, w := range o.workloads() {
-		cfg := fig3Config(o)
+	// The SSD-staged system is not a plain core.RunConfig cell: the custom
+	// RunFn attaches the ssd model as the host link and folds its pipeline
+	// occupancy into the report's Extra map. The salt names the variant so
+	// the cells stay cacheable (the config + salt fully determine the run).
+	runSSD := func(cfg config.Config, w string) (stats.Report, error) {
 		dev := ssd.New(fig3SSD(), nil)
 		sys, err := core.NewSystemWithHost(cfg, dev)
 		if err != nil {
-			return nil, err
+			return stats.Report{}, err
 		}
 		rep, err := sys.RunWorkload(w)
 		if err != nil {
-			return nil, err
+			return stats.Report{}, err
 		}
-		storage := dev.FlashBusy().Seconds()
-		dma := dev.DMABusy().Seconds()
+		rep.Extra["ssd-storage-s"] = dev.FlashBusy().Seconds()
+		rep.Extra["ssd-dma-s"] = dev.DMABusy().Seconds()
+		return rep, nil
+	}
+	var cells []batch.Cell
+	for _, w := range o.workloads() {
+		cells = append(cells, batch.Cell{
+			Platform: config.Origin, Mode: config.Planar, Workload: w,
+			Config: fig3Config(o), Salt: "fig3a-ssd", RunFn: runSSD,
+		})
+	}
+	reps, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3aResult{}
+	for i, w := range o.workloads() {
+		rep := reps[i]
+		storage := rep.Extra["ssd-storage-s"]
+		dma := rep.Extra["ssd-dma-s"]
 		elapsed := rep.Elapsed.Seconds()
 		// The flash and DMA stages pipeline: their union is bounded below
 		// by the longer stage and above by the sum.
@@ -151,28 +173,30 @@ func (instantHost) Stage(at sim.Time, n int64, write bool) sim.Time { return at 
 // Figure 3a this uses the main evaluation's capacity-starved Origin, whose
 // working sets spill continuously.
 func Fig3b(o Options) (*Fig3bResult, error) {
-	res := &Fig3bResult{}
+	// Per workload: one standard-PCIe cell (a plain cacheable cell, shared
+	// with any other figure that runs Origin/planar) and one counterfactual
+	// cell whose RunFn swaps in the instant host link.
+	runInstant := func(cfg config.Config, w string) (stats.Report, error) {
+		sys, err := core.NewSystemWithHost(cfg, instantHost{})
+		if err != nil {
+			return stats.Report{}, err
+		}
+		return sys.RunWorkload(w)
+	}
+	var cells []batch.Cell
 	for _, w := range o.workloads() {
-		cfg := config.Default(config.Origin, config.Planar)
-		o.apply(&cfg)
-		real, err := core.NewSystem(cfg) // default PCIe host link
-		if err != nil {
-			return nil, err
-		}
-		repReal, err := real.RunWorkload(w)
-		if err != nil {
-			return nil, err
-		}
-		cfg2 := config.Default(config.Origin, config.Planar)
-		o.apply(&cfg2)
-		free, err := core.NewSystemWithHost(cfg2, instantHost{})
-		if err != nil {
-			return nil, err
-		}
-		repFree, err := free.RunWorkload(w)
-		if err != nil {
-			return nil, err
-		}
+		real := o.cell(config.Origin, config.Planar, w)
+		instant := real
+		instant.Salt, instant.RunFn = "fig3b-instant-host", runInstant
+		cells = append(cells, real, instant)
+	}
+	reps, err := runCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3bResult{}
+	for i, w := range o.workloads() {
+		repReal, repFree := reps[2*i], reps[2*i+1]
 
 		var dmaF float64
 		if repReal.Elapsed > 0 {

@@ -20,19 +20,17 @@ type Fig8Row struct {
 // the baseline (Ohm-base) normalized to the Oracle.
 type Fig8Result struct{ Rows []Fig8Row }
 
-// Fig8 reproduces Figure 8.
+// Fig8 reproduces Figure 8. Both platforms of both modes go to the batch
+// runner as one parallel sweep.
 func Fig8(o Options) (*Fig8Result, error) {
 	res := &Fig8Result{}
 	for _, m := range config.AllModes() {
+		reps, err := o.gatherReports(m, []config.Platform{config.OhmBase, config.Oracle})
+		if err != nil {
+			return nil, err
+		}
 		for _, w := range o.workloads() {
-			base, err := o.run(config.OhmBase, m, w)
-			if err != nil {
-				return nil, err
-			}
-			oracle, err := o.run(config.Oracle, m, w)
-			if err != nil {
-				return nil, err
-			}
+			base, oracle := reps[w][config.OhmBase], reps[w][config.Oracle]
 			norm := 0.0
 			if oracle.MeanLatency > 0 {
 				norm = float64(base.MeanLatency) / float64(oracle.MeanLatency)

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGridGeoMeanSkipsZeroCells(t *testing.T) {
+	g := NewGrid("t", "", []string{"a", "b", "c"}, []string{"v"})
+	g.Set(0, 0, 2)
+	g.Set(1, 0, 0) // unfilled / failed cell must not zero the geomean
+	g.Set(2, 0, 8)
+	if gm := g.GeoMeanRow(); gm[0] != 4 {
+		t.Fatalf("geomean over {2, 0, 8} = %v, want 4 (zeros skipped)", gm[0])
+	}
+	// A column of only zeros yields zero, not NaN.
+	empty := NewGrid("t", "", []string{"a"}, []string{"v"})
+	if gm := empty.GeoMeanRow(); gm[0] != 0 {
+		t.Fatalf("all-zero column geomean = %v, want 0", gm[0])
+	}
+	// A grid with no rows at all still renders and geomeans.
+	none := NewGrid("t", "", nil, []string{"v"})
+	if gm := none.GeoMeanRow(); len(gm) != 1 || gm[0] != 0 {
+		t.Fatalf("zero-row geomean = %v", gm)
+	}
+	if out := none.Render(); !strings.Contains(out, "gmean") {
+		t.Fatalf("zero-row render missing footer:\n%s", out)
+	}
+}
+
+func TestGridRenderAlignment(t *testing.T) {
+	g := NewGrid("Title", "x", []string{"short", "longerwl"}, []string{"c1", "widecol"})
+	g.Set(0, 0, 1.5)
+	g.Set(0, 1, 2.25)
+	g.Set(1, 0, 3)
+	g.Set(1, 1, 4)
+	out := g.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, 2 rows, gmean
+		t.Fatalf("render = %d lines, want 5:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title (x)" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	// Every data line is the same width as the header: a 10-char row label
+	// plus one 13-char field per column (" %12s").
+	want := 10 + 13*len(g.Cols)
+	for _, l := range lines[1:] {
+		if len(l) != want {
+			t.Fatalf("misaligned line (%d chars, want %d): %q", len(l), want, l)
+		}
+	}
+	// Column headers end exactly where the row values end.
+	hdr := lines[1]
+	if !strings.HasSuffix(hdr[:23], "c1") || !strings.HasSuffix(hdr, "widecol") {
+		t.Fatalf("headers not right-aligned: %q", hdr)
+	}
+	for _, val := range []string{"1.500", "2.250", "3.000", "4.000"} {
+		if !strings.Contains(out, val) {
+			t.Fatalf("render missing %s:\n%s", val, out)
+		}
+	}
+}

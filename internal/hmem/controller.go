@@ -163,6 +163,7 @@ type Controller struct {
 	// Origin host-spill state.
 	host     HostLink
 	resident []map[int64]struct{} // per-MC resident host pages
+	resFIFO  [][]int64            // per-MC arrival order, for deterministic eviction
 	resCap   int64                // pages per MC before eviction
 	hostOnly bool                 // spill path active (DRAM-only, small capacity)
 
@@ -238,6 +239,7 @@ func New(cfg *config.Config, col *stats.Collector, host HostLink) (*Controller, 
 			c.host = defaultHostLink()
 		}
 		c.resident = make([]map[int64]struct{}, n)
+		c.resFIFO = make([][]int64, n)
 		for i := range c.resident {
 			c.resident[i] = make(map[int64]struct{})
 		}
@@ -344,14 +346,17 @@ func (c *Controller) accessOrigin(mc int, b *bank, at sim.Time, local uint64, wr
 	start := at
 	if _, ok := res[page]; !ok {
 		if int64(len(res)) >= c.resCap {
-			// Evict an arbitrary page (map iteration); the spill traffic is
-			// what matters, not the exact victim.
-			for victim := range res {
-				delete(res, victim)
-				break
-			}
+			// Evict the oldest page (FIFO). The spill traffic is what
+			// matters, not the exact victim — but the victim must be
+			// deterministic: result caching and parallel-vs-serial sweep
+			// equivalence both require identical reruns, and picking the
+			// victim via map iteration order broke that.
+			victim := c.resFIFO[mc][0]
+			c.resFIFO[mc] = c.resFIFO[mc][1:]
+			delete(res, victim)
 		}
 		res[page] = struct{}{}
+		c.resFIFO[mc] = append(c.resFIFO[mc], page)
 		start = c.host.Stage(at, c.pageBytes, false)
 		c.col.HostBytes += uint64(c.pageBytes)
 		c.col.HostTime += start - at
