@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/config"
+	"repro/internal/prof"
 	"repro/internal/stats"
 )
 
@@ -44,7 +45,16 @@ func main() {
 	out := flag.String("o", "", "output file (empty = stdout)")
 	printSpec := flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
 	quiet := flag.Bool("q", false, "suppress the run summary on stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stopProfiles = stopProf
+	defer stopProf()
 
 	spec, err := buildSpec(*specPath, *platforms, *modes, *workloads, *waveguides, *instr)
 	if err != nil {
@@ -226,7 +236,15 @@ func emitCSV(w io.Writer, cells []batch.Cell, reports []stats.Report) error {
 	return cw.Error()
 }
 
+// stopProfiles flushes any active pprof profiles; fatalf must run it
+// because os.Exit skips deferred functions — a profile of a failing run
+// is exactly the profile the user wants intact.
+var stopProfiles func()
+
 func fatalf(format string, args ...interface{}) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	fmt.Fprintf(os.Stderr, "ohmbatch: "+format+"\n", args...)
 	os.Exit(1)
 }

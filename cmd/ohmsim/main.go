@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/stats"
 )
 
@@ -30,7 +31,16 @@ func main() {
 	waveguides := flag.Int("waveguides", 0, "optical waveguides (0 = default 1)")
 	asJSON := flag.Bool("json", false, "emit the full report as JSON instead of the text block")
 	list := flag.Bool("list", false, "list platforms, modes and workloads, then exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	stopProfiles = stopProf
+	defer stopProf()
 
 	if *list {
 		fmt.Println("platforms: origin hetero ohm-base auto-rw ohm-wom ohm-bw oracle")
@@ -137,7 +147,15 @@ type deviceCounters struct {
 	DualRouteBytes uint64 `json:"dual_route_bytes"`
 }
 
+// stopProfiles flushes any active pprof profiles; fatalf must run it
+// because os.Exit skips deferred functions — a profile of a failing run
+// is exactly the profile the user wants intact.
+var stopProfiles func()
+
 func fatalf(format string, args ...interface{}) {
+	if stopProfiles != nil {
+		stopProfiles()
+	}
 	fmt.Fprintf(os.Stderr, "ohmsim: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -7,13 +7,11 @@ package cache
 
 import "fmt"
 
-// line is one cache line's bookkeeping.
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // last-touch stamp; larger = more recent
-}
+// flags bits.
+const (
+	flagValid uint8 = 1 << iota
+	flagDirty
+)
 
 // Cache is a blocking set-associative write-back cache with LRU replacement.
 // Addresses are byte addresses; the cache operates on aligned lines.
@@ -22,8 +20,25 @@ type Cache struct {
 	lineBytes int
 	sets      int
 	ways      int
-	lines     []line // sets*ways, row-major by set
 	stamp     uint64
+
+	// Per-line bookkeeping as parallel arrays (sets*ways, row-major by
+	// set): the hit path scans only tags and flags, so splitting the old
+	// 32-byte line struct keeps the scan inside one or two cache lines
+	// per set. flags packs validBit|dirtyBit.
+	tags  []uint64
+	flags []uint8
+	lru   []uint64 // last-touch stamp; larger = more recent
+
+	// Index fast path: line size is always a power of two, so the line
+	// split is a shift; when the set count is also a power of two the
+	// set/tag split is a mask+shift instead of two integer divisions per
+	// access. (Non-power-of-two set counts — the scaled 6MB L2 — keep the
+	// modulo path; both compute identical indices.)
+	lineShift uint
+	setShift  uint
+	setMask   uint64
+	setsPow2  bool
 
 	Hits   uint64
 	Misses uint64
@@ -47,13 +62,26 @@ func New(name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
 	// Set counts need not be powers of two: indexing is modulo, which is
 	// what real non-power-of-two LLCs (e.g. 6 MB shared L2) do.
 	sets := nLines / ways
-	return &Cache{
+	c := &Cache{
 		name:      name,
 		lineBytes: lineBytes,
 		sets:      sets,
 		ways:      ways,
-		lines:     make([]line, nLines),
-	}, nil
+		tags:      make([]uint64, nLines),
+		flags:     make([]uint8, nLines),
+		lru:       make([]uint64, nLines),
+	}
+	for 1<<c.lineShift < lineBytes {
+		c.lineShift++
+	}
+	if sets&(sets-1) == 0 {
+		c.setsPow2 = true
+		c.setMask = uint64(sets - 1)
+		for 1<<c.setShift < sets {
+			c.setShift++
+		}
+	}
+	return c, nil
 }
 
 // MustNew is New that panics; used for configurations already validated by
@@ -79,7 +107,10 @@ func (c *Cache) Ways() int { return c.ways }
 func (c *Cache) LineBytes() int { return c.lineBytes }
 
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
-	lineAddr := addr / uint64(c.lineBytes)
+	lineAddr := addr >> c.lineShift
+	if c.setsPow2 {
+		return int(lineAddr & c.setMask), lineAddr >> c.setShift
+	}
 	return int(lineAddr % uint64(c.sets)), lineAddr / uint64(c.sets)
 }
 
@@ -101,12 +132,11 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	c.stamp++
 
 	// Hit path.
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == tag {
-			l.lru = c.stamp
+	for i := base; i < base+c.ways; i++ {
+		if c.flags[i]&flagValid != 0 && c.tags[i] == tag {
+			c.lru[i] = c.stamp
 			if write {
-				l.dirty = true
+				c.flags[i] |= flagDirty
 			}
 			c.Hits++
 			return Result{Hit: true}
@@ -117,27 +147,31 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	c.Misses++
 	victim := base
 	var oldest uint64 = ^uint64(0)
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if !l.valid {
-			victim = base + i
+	for i := base; i < base+c.ways; i++ {
+		if c.flags[i]&flagValid == 0 {
+			victim = i
 			oldest = 0
 			break
 		}
-		if l.lru < oldest {
-			oldest = l.lru
-			victim = base + i
+		if c.lru[i] < oldest {
+			oldest = c.lru[i]
+			victim = i
 		}
 	}
 
 	var res Result
-	v := &c.lines[victim]
-	if v.valid && v.dirty {
+	if c.flags[victim]&(flagValid|flagDirty) == flagValid|flagDirty {
 		res.WritebackValid = true
-		res.Writeback = c.victimAddr(set, v.tag)
+		res.Writeback = c.victimAddr(set, c.tags[victim])
 		c.Evictions++
 	}
-	*v = line{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	c.tags[victim] = tag
+	f := uint8(flagValid)
+	if write {
+		f |= flagDirty
+	}
+	c.flags[victim] = f
+	c.lru[victim] = c.stamp
 	return res
 }
 
@@ -146,9 +180,8 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
 	base := set * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == tag {
+	for i := base; i < base+c.ways; i++ {
+		if c.flags[i]&flagValid != 0 && c.tags[i] == tag {
 			return true
 		}
 	}
@@ -160,11 +193,10 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 	set, tag := c.index(addr)
 	base := set * c.ways
-	for i := 0; i < c.ways; i++ {
-		l := &c.lines[base+i]
-		if l.valid && l.tag == tag {
-			d := l.dirty
-			*l = line{}
+	for i := base; i < base+c.ways; i++ {
+		if c.flags[i]&flagValid != 0 && c.tags[i] == tag {
+			d := c.flags[i]&flagDirty != 0
+			c.tags[i], c.flags[i], c.lru[i] = 0, 0, 0
 			return true, d
 		}
 	}
@@ -188,8 +220,8 @@ func (c *Cache) HitRate() float64 {
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.lines {
-		c.lines[i] = line{}
+	for i := range c.tags {
+		c.tags[i], c.flags[i], c.lru[i] = 0, 0, 0
 	}
 	c.stamp = 0
 	c.Hits, c.Misses, c.Evictions = 0, 0, 0

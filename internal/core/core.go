@@ -74,9 +74,12 @@ func (s *System) RunTrace(tr *trace.Trace) stats.Report {
 	return s.Col.Snapshot(elapsed, s.Cfg.GPU.CoreFreqHz)
 }
 
-// RunWorkload generates the named Table II workload and runs it.
+// RunWorkload runs the named Table II workload. The trace comes from the
+// in-process registry (traces are deterministic in the config), so
+// multi-cell sweeps generate each distinct trace once instead of once per
+// cell; execution never mutates it.
 func (s *System) RunWorkload(name string) (stats.Report, error) {
-	tr, err := trace.GenerateByName(name, &s.Cfg)
+	tr, err := trace.CachedByName(name, &s.Cfg)
 	if err != nil {
 		return stats.Report{}, err
 	}

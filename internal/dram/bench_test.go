@@ -1,0 +1,20 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+)
+
+// BenchmarkDeviceAccess streams line reads through the bank/row model —
+// the per-request device cost under every memory controller.
+func BenchmarkDeviceAccess(b *testing.B) {
+	d := New(config.DefaultDRAM())
+	at := sim.Time(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		at += 100
+		d.Access(at, uint64(i%4096)*128, i%4 == 0)
+	}
+}

@@ -33,6 +33,11 @@ type Channel struct {
 	wordTime sim.Time
 	laneB    float64
 
+	// hEnergy is the pre-interned "elec-channel" energy handle (valid only
+	// when col != nil); transfers fire per memory access, so accounting must
+	// not hash the component name.
+	hEnergy stats.EnergyHandle
+
 	Transfers uint64
 }
 
@@ -51,6 +56,9 @@ func New(cfg config.ElectricalConfig, col *stats.Collector) *Channel {
 		lanes:    make([]*sim.GapResource, 2*cfg.Channels),
 		wordTime: sim.Time(float64(sim.FreqToPeriod(cfg.FreqHz))*scale + 0.5),
 		laneB:    float64(cfg.LaneBits) / 8,
+	}
+	if col != nil {
+		c.hEnergy = col.InternEnergy("elec-channel")
 	}
 	for i := range c.lanes {
 		c.lanes[i] = sim.NewGapResource(fmt.Sprintf("elec%d", i))
@@ -72,7 +80,7 @@ func (c *Channel) Transfer(ch int, dir Direction, at sim.Time, n int, class stat
 	start, end = c.lanes[2*ch+int(dir)].Reserve(at, dur)
 	if c.col != nil {
 		c.col.AddChannel(class, uint64(n), dur)
-		c.col.AddEnergy("elec-channel", float64(n)*8*c.cfg.PJPerBit)
+		c.col.AddEnergyH(c.hEnergy, float64(n)*8*c.cfg.PJPerBit)
 	}
 	c.Transfers++
 	return start, end

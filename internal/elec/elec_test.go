@@ -50,6 +50,7 @@ func TestAccounting(t *testing.T) {
 	if col.ChannelBytes[stats.DataCopy] != 100 {
 		t.Fatal("copy bytes not accounted")
 	}
+	col.Flush()
 	want := 100.0 * 8 * config.DefaultElectrical().PJPerBit
 	if got := col.EnergyPJ["elec-channel"]; got != want {
 		t.Fatalf("energy = %v pJ, want %v", got, want)

@@ -90,7 +90,7 @@ func Table2(o Options) *Table2Result {
 		if !ok {
 			continue
 		}
-		tr := trace.Generate(w, &cfg)
+		tr := trace.Cached(w, &cfg) // Measure only reads; share the sweep's trace
 		s := tr.Measure()
 		res.Rows = append(res.Rows, Table2Row{
 			Workload:      name,

@@ -54,10 +54,17 @@ type GPU struct {
 	l2    *cache.Cache
 	cycle sim.Time
 
+	// warps is the value-typed execution state of the current kernel's
+	// resident warps; events carry an index into it (sim.Handler), so the
+	// steady-state issue/retire loop schedules without closure allocation.
+	warps []warpRun
+
 	// mshr tracks outstanding L2 line misses when config.GPU.MSHREntries is
 	// positive: a second miss to an in-flight line coalesces onto the first
-	// request instead of issuing its own (classic MSHR merging).
-	mshr map[uint64]sim.Time
+	// request instead of issuing its own (classic MSHR merging). The table
+	// is a bounded linear-probe array rather than a map: MSHREntries is
+	// small (hardware MSHRs are 32-64 entries), so a scan beats hashing.
+	mshr mshrTable
 
 	// MSHRMerges counts coalesced misses for the ablation experiments.
 	MSHRMerges uint64
@@ -67,6 +74,54 @@ type GPU struct {
 
 	live   int
 	finish sim.Time
+}
+
+// mshrTable is a fixed-capacity set of outstanding line fills. Lookups scan
+// linearly; stale entries (fills already completed) are ignored by callers
+// comparing against the current time and purged lazily on insertion when
+// the table is full — the exact semantics of the map it replaces.
+type mshrTable struct {
+	entries []mshrEntry
+	cap     int
+}
+
+type mshrEntry struct {
+	line uint64
+	done sim.Time
+}
+
+// lookup returns the outstanding fill time for a line, if tracked.
+func (t *mshrTable) lookup(line uint64) (sim.Time, bool) {
+	for i := range t.entries {
+		if t.entries[i].line == line {
+			return t.entries[i].done, true
+		}
+	}
+	return 0, false
+}
+
+// insert records a fill, overwriting a stale entry for the same line. When
+// full it first drops entries whose fill completed by now; if still full
+// the line is simply not tracked (MSHR bypass).
+func (t *mshrTable) insert(line uint64, done, now sim.Time) {
+	for i := range t.entries {
+		if t.entries[i].line == line {
+			t.entries[i].done = done
+			return
+		}
+	}
+	if len(t.entries) >= t.cap {
+		kept := t.entries[:0]
+		for _, e := range t.entries {
+			if e.done > now {
+				kept = append(kept, e)
+			}
+		}
+		t.entries = kept
+	}
+	if len(t.entries) < t.cap {
+		t.entries = append(t.entries, mshrEntry{line: line, done: done})
+	}
 }
 
 // New builds a GPU. The memory accessor must not be nil.
@@ -100,7 +155,10 @@ func New(cfg *config.Config, col *stats.Collector, mem MemAccessor) (*GPU, error
 	}
 	g.l2 = l2
 	if cfg.GPU.MSHREntries > 0 {
-		g.mshr = make(map[uint64]sim.Time, cfg.GPU.MSHREntries)
+		g.mshr = mshrTable{
+			entries: make([]mshrEntry, 0, cfg.GPU.MSHREntries),
+			cap:     cfg.GPU.MSHREntries,
+		}
 	}
 	if cfg.GPU.NoCDetailed {
 		ncfg := noc.Default()
@@ -134,18 +192,16 @@ func (g *GPU) Run(tr *trace.Trace) sim.Time {
 	g.eng = sim.NewEngine()
 	g.finish = 0
 	g.live = 0
-	warps := make([]*warpRun, 0, len(tr.Warps))
+	g.warps = g.warps[:0]
 	for i, wt := range tr.Warps {
 		if len(wt) == 0 {
 			continue
 		}
-		w := &warpRun{smIdx: i % len(g.sms), tr: wt}
-		warps = append(warps, w)
+		g.warps = append(g.warps, warpRun{smIdx: i % len(g.sms), tr: wt})
 		g.live++
 	}
-	for _, w := range warps {
-		w := w
-		g.eng.Schedule(0, func() { g.step(w) })
+	for wi := range g.warps {
+		g.eng.ScheduleID(0, g, uint64(wi))
 	}
 	g.eng.Run()
 	if g.live != 0 {
@@ -154,8 +210,13 @@ func (g *GPU) Run(tr *trace.Trace) sim.Time {
 	return g.finish
 }
 
+// Handle advances warp arg; it is the sim.Handler behind the closure-free
+// warp issue/retire events.
+func (g *GPU) Handle(arg uint64) { g.step(arg) }
+
 // step advances one warp from the current engine time.
-func (g *GPU) step(w *warpRun) {
+func (g *GPU) step(wi uint64) {
+	w := &g.warps[wi]
 	now := g.eng.Now()
 	if w.pc >= len(w.tr) {
 		g.live--
@@ -177,7 +238,7 @@ func (g *GPU) step(w *warpRun) {
 		w.pc += k
 		g.col.Instructions += uint64(k)
 		_, end := s.issue.Reserve(now, sim.Time(k)*g.cycle)
-		g.eng.Schedule(end, func() { g.step(w) })
+		g.eng.ScheduleID(end, g, wi)
 		return
 	}
 
@@ -188,7 +249,7 @@ func (g *GPU) step(w *warpRun) {
 	_, issued := s.issue.Reserve(now, g.cycle)
 
 	resume := g.memAccess(s, issued, in.Addr, write)
-	g.eng.Schedule(resume, func() { g.step(w) })
+	g.eng.ScheduleID(resume, g, wi)
 }
 
 // memAccess walks L1 -> L2 -> memory and returns when the warp may resume.
@@ -214,11 +275,11 @@ func (g *GPU) memAccess(s *sm, at sim.Time, addr uint64, write bool) sim.Time {
 	if r2.Hit {
 		g.col.L2Hits++
 		done := l2At + gcfg.L2Latency
-		if g.mshr != nil {
+		if g.mshr.cap > 0 {
 			// The line may be resident but still in flight from memory:
 			// a hit on it merges onto the outstanding fill (MSHR
 			// semantics) instead of returning instantly.
-			if fill, ok := g.mshr[lineAddr]; ok && fill > done {
+			if fill, ok := g.mshr.lookup(lineAddr); ok && fill > done {
 				g.MSHRMerges++
 				done = fill
 			}
@@ -235,26 +296,16 @@ func (g *GPU) memAccess(s *sm, at sim.Time, addr uint64, write bool) sim.Time {
 	if r2.WritebackValid {
 		g.mem.Access(memAt, r2.Writeback, true)
 	}
-	if g.mshr != nil && !write {
-		if done, ok := g.mshr[lineAddr]; ok && done > memAt {
+	if g.mshr.cap > 0 && !write {
+		if done, ok := g.mshr.lookup(lineAddr); ok && done > memAt {
 			// Coalesce onto the in-flight miss.
 			g.MSHRMerges++
 			return done + gcfg.InterconnectL
 		}
 	}
 	done := g.mem.Access(memAt, addr, write)
-	if g.mshr != nil && !write {
-		if len(g.mshr) >= g.cfg.GPU.MSHREntries {
-			// Lazily drop completed entries; bypass if still full.
-			for k, v := range g.mshr {
-				if v <= memAt {
-					delete(g.mshr, k)
-				}
-			}
-		}
-		if len(g.mshr) < g.cfg.GPU.MSHREntries {
-			g.mshr[lineAddr] = done
-		}
+	if g.mshr.cap > 0 && !write {
+		g.mshr.insert(lineAddr, done, memAt)
 	}
 	if write {
 		// Store: the warp resumes once the L1/L2 committed the line; the

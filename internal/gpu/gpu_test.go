@@ -283,8 +283,8 @@ func TestMSHRBoundedEntries(t *testing.T) {
 		warps = append(warps, trace.WarpTrace{{Kind: trace.Load, Addr: uint64(i) << 20}})
 	}
 	g.Run(&trace.Trace{Name: "many", PageBytes: c.Memory.PageBytes, Warps: warps})
-	if len(g.mshr) > 2 {
-		t.Fatalf("MSHR grew to %d entries, bound is 2", len(g.mshr))
+	if len(g.mshr.entries) > 2 {
+		t.Fatalf("MSHR grew to %d entries, bound is 2", len(g.mshr.entries))
 	}
 }
 

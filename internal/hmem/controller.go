@@ -162,13 +162,24 @@ type Controller struct {
 
 	// Origin host-spill state.
 	host     HostLink
-	resident []map[int64]struct{} // per-MC resident host pages
-	resFIFO  [][]int64            // per-MC arrival order, for deterministic eviction
-	resCap   int64                // pages per MC before eviction
-	hostOnly bool                 // spill path active (DRAM-only, small capacity)
+	resident []resSet // per-MC resident host pages
+	resCap   int64    // pages per MC before eviction
+	hostOnly bool     // spill path active (DRAM-only, small capacity)
 
 	pageBytes int64
 	lineBytes int64
+
+	// Pre-interned collector handles for per-access metrics: the hot path
+	// accumulates through indices instead of hashing (and, for the latency
+	// taps, concatenating) map-key strings on every memory access.
+	hDMAEnergy  stats.EnergyHandle
+	hStageWait  stats.ExtraHandle
+	hDramPart   stats.ExtraHandle
+	hConflict   stats.ExtraHandle
+	hDramLatSum stats.ExtraHandle
+	hDramLatCnt stats.ExtraHandle
+	hXPLatSum   stats.ExtraHandle
+	hXPLatCnt   stats.ExtraHandle
 
 	// Aggregate ops (inputs to the energy model).
 	DRAMReads    uint64
@@ -188,11 +199,19 @@ func New(cfg *config.Config, col *stats.Collector, host HostLink) (*Controller, 
 		return nil, fmt.Errorf("hmem: nil collector")
 	}
 	c := &Controller{
-		cfg:       cfg,
-		col:       col,
-		kind:      KindFor(cfg.Platform),
-		pageBytes: int64(cfg.Memory.PageBytes),
-		lineBytes: int64(cfg.GPU.LineBytes),
+		cfg:         cfg,
+		col:         col,
+		kind:        KindFor(cfg.Platform),
+		pageBytes:   int64(cfg.Memory.PageBytes),
+		lineBytes:   int64(cfg.GPU.LineBytes),
+		hDMAEnergy:  col.InternEnergy("dma"),
+		hStageWait:  col.InternExtra("origin-stage-wait"),
+		hDramPart:   col.InternExtra("origin-dram-part"),
+		hConflict:   col.InternExtra("conflict-wait"),
+		hDramLatSum: col.InternExtra("dram-lat-sum"),
+		hDramLatCnt: col.InternExtra("dram-count"),
+		hXPLatSum:   col.InternExtra("xp-lat-sum"),
+		hXPLatCnt:   col.InternExtra("xp-count"),
 	}
 
 	if cfg.Platform.Optical() {
@@ -238,17 +257,51 @@ func New(cfg *config.Config, col *stats.Collector, host HostLink) (*Controller, 
 		if c.host == nil {
 			c.host = defaultHostLink()
 		}
-		c.resident = make([]map[int64]struct{}, n)
-		c.resFIFO = make([][]int64, n)
-		for i := range c.resident {
-			c.resident[i] = make(map[int64]struct{})
-		}
+		c.resident = make([]resSet, n)
 		c.resCap = dramPerMC / c.pageBytes
 		if c.resCap < 1 {
 			c.resCap = 1
 		}
 	}
 	return c, nil
+}
+
+// resSet tracks one controller's resident host pages: a direct-indexed
+// presence array (pages are dense small integers) plus a FIFO ring for
+// deterministic eviction. It replaces a map probed on every Origin access.
+type resSet struct {
+	present []bool
+	fifo    []int64
+	head    int // fifo[head:] is the queue; compacted when it outgrows its tail
+	count   int
+}
+
+func (r *resSet) has(page int64) bool {
+	return page < int64(len(r.present)) && r.present[page]
+}
+
+func (r *resSet) add(page int64) {
+	if page >= int64(len(r.present)) {
+		grown := make([]bool, page+1+int64(len(r.present)))
+		copy(grown, r.present)
+		r.present = grown
+	}
+	r.present[page] = true
+	if r.head > 0 && r.head >= len(r.fifo)-r.head {
+		r.fifo = append(r.fifo[:0], r.fifo[r.head:]...)
+		r.head = 0
+	}
+	r.fifo = append(r.fifo, page)
+	r.count++
+}
+
+// evictOldest removes and returns the longest-resident page.
+func (r *resSet) evictOldest() int64 {
+	victim := r.fifo[r.head]
+	r.head++
+	r.present[victim] = false
+	r.count--
+	return victim
 }
 
 // Kind returns the controller's migration machinery.
@@ -298,7 +351,7 @@ func (c *Controller) Access(at sim.Time, addr uint64, write bool) (done sim.Time
 	default:
 		// Oracle-style flat DRAM of sufficient capacity.
 		done = c.dramAccess(mc, b, at, local, write, stats.RegularRequest)
-		c.noteLat("dram", int64(done-at))
+		c.noteDRAMLat(int64(done - at))
 	}
 	c.col.MemLatency.Add(done - at)
 	return done
@@ -342,32 +395,29 @@ func (c *Controller) xpAccess(mc int, b *bank, at sim.Time, local uint64, write 
 // Origin 42% versus Hetero in Figure 16).
 func (c *Controller) accessOrigin(mc int, b *bank, at sim.Time, local uint64, write bool) sim.Time {
 	page := int64(local) / c.pageBytes
-	res := c.resident[mc]
+	res := &c.resident[mc]
 	start := at
-	if _, ok := res[page]; !ok {
-		if int64(len(res)) >= c.resCap {
+	if !res.has(page) {
+		if int64(res.count) >= c.resCap {
 			// Evict the oldest page (FIFO). The spill traffic is what
 			// matters, not the exact victim — but the victim must be
 			// deterministic: result caching and parallel-vs-serial sweep
 			// equivalence both require identical reruns, and picking the
 			// victim via map iteration order broke that.
-			victim := c.resFIFO[mc][0]
-			c.resFIFO[mc] = c.resFIFO[mc][1:]
-			delete(res, victim)
+			res.evictOldest()
 		}
-		res[page] = struct{}{}
-		c.resFIFO[mc] = append(c.resFIFO[mc], page)
+		res.add(page)
 		start = c.host.Stage(at, c.pageBytes, false)
 		c.col.HostBytes += uint64(c.pageBytes)
 		c.col.HostTime += start - at
 		// PCIe DMA transfer energy (pJ/bit), the basis of Figure 3b's DMA
 		// energy fraction; the coefficient sits a few x above the on-board
 		// electrical channel's per-bit cost.
-		c.col.AddEnergy("dma", float64(c.pageBytes)*8*3)
+		c.col.AddEnergyH(c.hDMAEnergy, float64(c.pageBytes)*8*3)
 	}
 	wrapped := uint64(int64(local) % (c.cfg.Memory.DRAMBytes / int64(len(c.mcs))))
 	done := c.dramAccess(mc, b, start, wrapped, write, stats.RegularRequest)
-	c.col.Extra["origin-stage-wait"] += float64(start - at)
-	c.col.Extra["origin-dram-part"] += float64(done - start)
+	c.col.AddExtraH(c.hStageWait, float64(start-at))
+	c.col.AddExtraH(c.hDramPart, float64(done-start))
 	return done
 }

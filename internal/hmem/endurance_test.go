@@ -109,7 +109,7 @@ func TestOriginEvictionBounded(t *testing.T) {
 	for i := int64(0); i < 4*c.resCap; i++ {
 		at = c.Access(at, uint64(i*nMC*pb), false)
 	}
-	if got := int64(len(c.resident[0])); got > c.resCap {
+	if got := int64(c.resident[0].count); got > c.resCap {
 		t.Fatalf("resident set %d exceeds capacity %d", got, c.resCap)
 	}
 }

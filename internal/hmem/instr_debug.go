@@ -1,9 +1,17 @@
 package hmem
 
-// Debug instrumentation: per-destination latency sums for calibration runs.
-// Kept behind ordinary counters (no build tags) because the overhead is two
-// map updates per access and the experiments read them from Extra.
-func (c *Controller) noteLat(dest string, d int64) {
-	c.col.Extra[dest+"-lat-sum"] += float64(d)
-	c.col.Extra[dest+"-count"]++
+// Per-destination latency taps (mean DRAM vs XPoint service time), consumed
+// by the calibration experiments from Extra. They fire on every memory
+// access, so they accumulate through pre-interned collector handles: the
+// former string-keyed form (Extra[dest+"-lat-sum"]) allocated a concatenated
+// key and hashed the map twice per access.
+
+func (c *Controller) noteDRAMLat(d int64) {
+	c.col.AddExtraH(c.hDramLatSum, float64(d))
+	c.col.AddExtraH(c.hDramLatCnt, 1)
+}
+
+func (c *Controller) noteXPLat(d int64) {
+	c.col.AddExtraH(c.hXPLatSum, float64(d))
+	c.col.AddExtraH(c.hXPLatCnt, 1)
 }

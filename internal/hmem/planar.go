@@ -103,17 +103,17 @@ func (c *Controller) accessPlanar(mc int, b *bank, at sim.Time, local uint64, wr
 	if until, ok := p.migratingUntil[g]; ok && until > start {
 		if sp := p.swapPages[g]; sp[0] == page || sp[1] == page {
 			start = until
-			c.col.Extra["conflict-wait"] += float64(until - at)
+			c.col.AddExtraH(c.hConflict, float64(until-at))
 		}
 	}
 
 	var done sim.Time
 	if p.inDRAM(page) {
 		done = c.dramAccess(mc, b, start, c.dramSlotAddr(p, g, local), write, stats.RegularRequest)
-		c.noteLat("dram", int64(done-at))
+		c.noteDRAMLat(int64(done - at))
 	} else {
 		done = c.xpAccess(mc, b, start, local, write, stats.RegularRequest)
-		c.noteLat("xp", int64(done-at))
+		c.noteXPLat(int64(done - at))
 		// Heat tracking drives hot-page detection; the per-group cooldown
 		// prevents two hot pages from ping-ponging the single DRAM slot.
 		p.heat[page]++

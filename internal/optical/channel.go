@@ -48,6 +48,11 @@ type Channel struct {
 	bitTime sim.Time // time of one parallel word on one VC
 	vcBytes float64  // bytes carried per word on one VC across waveguides
 
+	// hEnergy is the pre-interned "opti-network" energy handle; transfers
+	// fire on every memory access, so per-transfer accounting must not hash
+	// the component name. Valid only when col != nil.
+	hEnergy stats.EnergyHandle
+
 	Transfers     uint64
 	DemuxSwitches uint64
 	Borrows       uint64 // dynamic-division wavelength borrows
@@ -67,6 +72,9 @@ func NewChannel(cfg config.OpticalConfig, col *stats.Collector) *Channel {
 		mem:       make([]*sim.GapResource, cfg.VirtualChannels),
 		last:      make([]int, 2*cfg.VirtualChannels),
 		womActive: make([]sim.Time, cfg.VirtualChannels),
+	}
+	if col != nil {
+		c.hEnergy = col.InternEnergy("opti-network")
 	}
 	for i := range c.data {
 		c.data[i] = sim.NewGapResource(fmt.Sprintf("vc%d-data%d", i/2, i%2))
@@ -162,7 +170,7 @@ func (c *Channel) TransferMemRoute(vc int, at sim.Time, n int) (start, end sim.T
 		// data-route occupancy.
 		c.col.AddChannel(stats.DataCopy, uint64(n), 0)
 		c.col.DualRouteBytes += uint64(n)
-		c.col.AddEnergy("opti-network", c.pm.TuningEnergyPJ(uint64(n)))
+		c.col.AddEnergyH(c.hEnergy, c.pm.TuningEnergyPJ(uint64(n)))
 	}
 	c.Transfers++
 	return start, end
@@ -183,7 +191,7 @@ func (c *Channel) TransferWOMShared(vc int, at sim.Time, n int) (start, end sim.
 	if c.col != nil {
 		c.col.AddChannel(stats.DataCopy, uint64(n), 0)
 		c.col.DualRouteBytes += uint64(n)
-		c.col.AddEnergy("opti-network", c.pm.TuningEnergyPJ(uint64(n)))
+		c.col.AddEnergyH(c.hEnergy, c.pm.TuningEnergyPJ(uint64(n)))
 	}
 	c.Transfers++
 	return start, end
@@ -228,7 +236,7 @@ func (c *Channel) account(class stats.Class, n int, busy sim.Time) {
 		return
 	}
 	c.col.AddChannel(class, uint64(n), busy)
-	c.col.AddEnergy("opti-network", c.pm.TuningEnergyPJ(uint64(n)))
+	c.col.AddEnergyH(c.hEnergy, c.pm.TuningEnergyPJ(uint64(n)))
 }
 
 func (c *Channel) checkVC(vc int) {

@@ -291,6 +291,7 @@ func TestChannelAccounting(t *testing.T) {
 	if col.ChannelBytes[stats.RegularRequest] != 100 || col.ChannelBytes[stats.DataCopy] != 50 {
 		t.Fatalf("byte accounting: %v", col.ChannelBytes)
 	}
+	col.Flush()
 	if col.EnergyPJ["opti-network"] <= 0 {
 		t.Fatal("optical energy not accounted")
 	}

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // GapResource is a serially-occupied resource that, unlike Resource, can
 // backfill idle gaps. Event-driven components sometimes book a resource at
 // a *future* instant (a read response scheduled for when the device will be
@@ -8,14 +10,42 @@ package sim
 // channel scheduler fills the gap — GapResource models that by remembering
 // a bounded list of recent idle windows and first-fitting new reservations
 // into them.
+//
+// The gap table is stored as parallel slices (starts/ends/sizes) rather
+// than a struct slice: the two O(maxGaps) scans — first-fit in Reserve and
+// evict-smallest in addGap — each touch only the fields they test, halving
+// the memory traffic of the hottest loops in the memory-channel model.
 type GapResource struct {
 	name   string
 	freeAt Time
 	busy   Time
-	gaps   []gapWindow // unordered, bounded by maxGaps
-}
 
-type gapWindow struct{ start, end Time }
+	// The remembered idle windows, parallel by index, unordered, bounded
+	// by maxGaps. sizes[i] caches ends[i]-starts[i] for the scans.
+	starts []Time
+	ends   []Time
+	sizes  []Time
+
+	// maxGapEnd is an upper bound on the latest gap end (it may go stale
+	// high when that gap is consumed, never low). A reservation can only
+	// fit a gap whose end reaches at+dur, so Reserve skips the first-fit
+	// scan entirely when maxGapEnd rules every gap out — the common case
+	// once the request stream has moved past the remembered idle windows.
+	maxGapEnd Time
+
+	// minGapSize is a lower bound on the smallest remembered gap while the
+	// table is full (removals only raise the true minimum, so the bound
+	// stays valid; insertions tighten it). addGap drops a new window
+	// smaller than every remembered one without the O(maxGaps) eviction
+	// scan, which such a window could never win.
+	minGapSize Time
+
+	// maxGapSize is an upper bound on the largest remembered gap (stale
+	// high after that gap is consumed, never low). A reservation longer
+	// than every gap cannot backfill, so Reserve skips the scan — the
+	// common case on backlogged channels whose surviving gaps are slivers.
+	maxGapSize Time
+}
 
 // maxGaps bounds the remembered idle windows; old windows are evicted by
 // replacing the smallest. 64 is plenty: gaps older than the current working
@@ -38,45 +68,58 @@ func (r *GapResource) Busy() Time { return r.busy }
 // Reserve books dur starting no earlier than at, preferring the earliest
 // idle gap that fits, else appending at the frontier.
 func (r *GapResource) Reserve(at, dur Time) (start, end Time) {
-	// First-fit into the earliest suitable gap.
+	if at+dur > r.maxGapEnd || dur > r.maxGapSize {
+		// No remembered gap can contain [at, at+dur): append at the
+		// frontier without scanning.
+		return r.reserveFrontier(at, dur)
+	}
+
+	// First-fit into the earliest suitable gap. A gap fits iff it is long
+	// enough (size >= dur) and ends late enough (end >= at+dur); the
+	// adjusted start is then max(at, start). Ties on the adjusted start
+	// resolve to the earliest slice index (strict less below), so the scan
+	// can stop at the first gap already open at `at`: its adjusted start
+	// `at` is unbeatable.
+	atDur := at + dur
 	best := -1
 	var bestStart Time
-	for i := range r.gaps {
-		g := &r.gaps[i]
-		s := at
-		if g.start > s {
-			s = g.start
+	for i := range r.ends {
+		if r.ends[i] < atDur || r.sizes[i] < dur {
+			continue
 		}
-		if s+dur <= g.end {
-			if best == -1 || s < bestStart {
-				best = i
-				bestStart = s
-			}
+		s := at
+		if r.starts[i] > s {
+			s = r.starts[i]
+		}
+		if best == -1 || s < bestStart {
+			best = i
+			bestStart = s
+		}
+		if s == at {
+			break
 		}
 	}
 	if best >= 0 {
-		g := r.gaps[best]
+		gStart, gEnd := r.starts[best], r.ends[best]
 		s := bestStart
 		e := s + dur
-		// Split the gap; drop empty remnants.
-		repl := r.gaps[:0]
-		for i, w := range r.gaps {
-			if i == best {
-				continue
-			}
-			repl = append(repl, w)
+		r.removeGap(best)
+		if gStart < s {
+			r.addGap(gStart, s)
 		}
-		r.gaps = repl
-		if g.start < s {
-			r.addGap(g.start, s)
-		}
-		if e < g.end {
-			r.addGap(e, g.end)
+		if e < gEnd {
+			r.addGap(e, gEnd)
 		}
 		r.busy += dur
 		return s, e
 	}
 
+	return r.reserveFrontier(at, dur)
+}
+
+// reserveFrontier appends an occupancy at the frontier, recording the idle
+// window it skips over.
+func (r *GapResource) reserveFrontier(at, dur Time) (start, end Time) {
 	start = at
 	if r.freeAt > start {
 		start = r.freeAt
@@ -106,31 +149,95 @@ func (r *GapResource) ReserveAt(at, dur Time) (start, end Time) {
 	return at, end
 }
 
+// removeGap deletes index i, preserving slice order (the first-fit
+// tie-break depends on it).
+func (r *GapResource) removeGap(i int) {
+	copy(r.starts[i:], r.starts[i+1:])
+	copy(r.ends[i:], r.ends[i+1:])
+	copy(r.sizes[i:], r.sizes[i+1:])
+	n := len(r.starts) - 1
+	r.starts = r.starts[:n]
+	r.ends = r.ends[:n]
+	r.sizes = r.sizes[:n]
+}
+
 // addGap records an idle window, evicting the smallest when full.
 func (r *GapResource) addGap(start, end Time) {
 	if end <= start {
 		return
 	}
-	if len(r.gaps) < maxGaps {
-		r.gaps = append(r.gaps, gapWindow{start, end})
+	if end > r.maxGapEnd {
+		r.maxGapEnd = end
+	}
+	newSize := end - start
+	if newSize > r.maxGapSize {
+		r.maxGapSize = newSize
+	}
+	if len(r.starts) < maxGaps {
+		if r.starts == nil {
+			// Size the table once: it reaches maxGaps quickly on any busy
+			// resource, and incremental regrowth of three slices shows up
+			// in cold-cell allocation counts.
+			r.starts = make([]Time, 0, maxGaps)
+			r.ends = make([]Time, 0, maxGaps)
+			r.sizes = make([]Time, 0, maxGaps)
+		}
+		if len(r.starts) == 0 || newSize < r.minGapSize {
+			r.minGapSize = newSize
+		}
+		r.starts = append(r.starts, start)
+		r.ends = append(r.ends, end)
+		r.sizes = append(r.sizes, newSize)
 		return
 	}
-	smallest, size := 0, r.gaps[0].end-r.gaps[0].start
-	for i := 1; i < len(r.gaps); i++ {
-		if s := r.gaps[i].end - r.gaps[i].start; s < size {
-			smallest, size = i, s
+	if newSize <= r.minGapSize {
+		// Smaller than (or tied with) every remembered gap: the strict
+		// eviction comparison below could never pick it.
+		return
+	}
+	// Full eviction scan over the cached sizes — a sequential int64 scan,
+	// cheaper in practice than any pointer-chasing index structure. Track
+	// the runner-up so the minimum bound stays exact afterwards.
+	smallest, size := 0, r.sizes[0]
+	second := Time(math.MaxInt64)
+	for i := 1; i < len(r.sizes); i++ {
+		if s := r.sizes[i]; s < size {
+			smallest, size, second = i, s, size
+		} else if s < second {
+			second = s
 		}
 	}
-	if end-start > size {
-		r.gaps[smallest] = gapWindow{start, end}
+	if newSize > size {
+		r.starts[smallest] = start
+		r.ends[smallest] = end
+		r.sizes[smallest] = newSize
+		// Exact new minimum: the runner-up or the inserted gap. Keeping the
+		// bound exact lets the next undersized arrival drop without a scan.
+		if newSize < second {
+			second = newSize
+		}
+		r.minGapSize = second
+	} else {
+		r.minGapSize = size
 	}
 }
+
+// gapCount reports the remembered idle windows (tests).
+func (r *GapResource) gapCount() int { return len(r.starts) }
+
+// gapAt returns window i as (start, end) (tests).
+func (r *GapResource) gapAt(i int) (Time, Time) { return r.starts[i], r.ends[i] }
 
 // Reset clears all state.
 func (r *GapResource) Reset() {
 	r.freeAt = 0
 	r.busy = 0
-	r.gaps = r.gaps[:0]
+	r.starts = r.starts[:0]
+	r.ends = r.ends[:0]
+	r.sizes = r.sizes[:0]
+	r.maxGapEnd = 0
+	r.minGapSize = 0
+	r.maxGapSize = 0
 }
 
 // Utilization returns busy/elapsed clamped to [0,1].

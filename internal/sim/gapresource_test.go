@@ -179,3 +179,154 @@ func TestGapResourceEvictionPressureProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// refGapResource is the pre-optimization algorithm (no maxGapEnd early-out,
+// no minGapSize eviction skip, no scan break): the oracle the fast paths
+// must match window-for-window.
+type refGapWindow struct{ start, end Time }
+
+type refGapResource struct {
+	freeAt Time
+	busy   Time
+	gaps   []refGapWindow
+}
+
+func (r *refGapResource) reserve(at, dur Time) (start, end Time) {
+	best := -1
+	var bestStart Time
+	for i := range r.gaps {
+		g := &r.gaps[i]
+		s := at
+		if g.start > s {
+			s = g.start
+		}
+		if s+dur <= g.end {
+			if best == -1 || s < bestStart {
+				best = i
+				bestStart = s
+			}
+		}
+	}
+	if best >= 0 {
+		g := r.gaps[best]
+		s := bestStart
+		e := s + dur
+		repl := r.gaps[:0]
+		for i, w := range r.gaps {
+			if i == best {
+				continue
+			}
+			repl = append(repl, w)
+		}
+		r.gaps = repl
+		if g.start < s {
+			r.addGap(g.start, s)
+		}
+		if e < g.end {
+			r.addGap(e, g.end)
+		}
+		r.busy += dur
+		return s, e
+	}
+	start = at
+	if r.freeAt > start {
+		start = r.freeAt
+	}
+	if start > r.freeAt {
+		r.addGap(r.freeAt, start)
+	}
+	end = start + dur
+	r.freeAt = end
+	r.busy += dur
+	return start, end
+}
+
+func (r *refGapResource) reserveAt(at, dur Time) (start, end Time) {
+	end = at + dur
+	if end > r.freeAt {
+		if at > r.freeAt {
+			r.addGap(r.freeAt, at)
+		}
+		r.freeAt = end
+	}
+	r.busy += dur
+	return at, end
+}
+
+func (r *refGapResource) addGap(start, end Time) {
+	if end <= start {
+		return
+	}
+	if len(r.gaps) < maxGaps {
+		r.gaps = append(r.gaps, refGapWindow{start, end})
+		return
+	}
+	smallest, size := 0, r.gaps[0].end-r.gaps[0].start
+	for i := 1; i < len(r.gaps); i++ {
+		if s := r.gaps[i].end - r.gaps[i].start; s < size {
+			smallest, size = i, s
+		}
+	}
+	if end-start > size {
+		r.gaps[smallest] = refGapWindow{start, end}
+	}
+}
+
+// TestGapResourceMatchesReference hammers the optimized GapResource and the
+// reference with an identical random operation stream — bursty times, zero
+// and large durations, future ReserveAt bookings — and requires identical
+// grants, frontiers and busy accounting at every step, plus identical gap
+// tables at the end. This pins the fast-path invariants: maxGapEnd is an
+// upper bound, minGapSize a lower bound, and the scan break preserves the
+// first-fit tie-break.
+func TestGapResourceMatchesReference(t *testing.T) {
+	rng := NewRng(7)
+	r := NewGapResource("opt")
+	ref := &refGapResource{}
+	var base Time
+	for op := 0; op < 200000; op++ {
+		// Drift a base time forward with occasional rewinds so both the
+		// frontier-append and the gap-fill paths stay exercised.
+		switch rng.Intn(10) {
+		case 0:
+			base += Time(rng.Intn(5000))
+		case 1:
+			base -= Time(rng.Intn(300))
+			if base < 0 {
+				base = 0
+			}
+		default:
+			base += Time(rng.Intn(50))
+		}
+		at := base + Time(rng.Intn(200))
+		dur := Time(rng.Intn(120))
+		if rng.Intn(20) == 0 {
+			dur += Time(rng.Intn(5000)) // occasional huge occupancy
+		}
+		var s1, e1, s2, e2 Time
+		if rng.Intn(4) == 0 {
+			future := at + Time(rng.Intn(3000))
+			s1, e1 = r.ReserveAt(future, dur)
+			s2, e2 = ref.reserveAt(future, dur)
+		} else {
+			s1, e1 = r.Reserve(at, dur)
+			s2, e2 = ref.reserve(at, dur)
+		}
+		if s1 != s2 || e1 != e2 {
+			t.Fatalf("op %d: grant (%d,%d) != reference (%d,%d)", op, s1, e1, s2, e2)
+		}
+		if r.FreeAt() != ref.freeAt || r.Busy() != ref.busy {
+			t.Fatalf("op %d: frontier/busy (%d,%d) != reference (%d,%d)",
+				op, r.FreeAt(), r.Busy(), ref.freeAt, ref.busy)
+		}
+	}
+	if r.gapCount() != len(ref.gaps) {
+		t.Fatalf("gap table length %d != reference %d", r.gapCount(), len(ref.gaps))
+	}
+	for i := range ref.gaps {
+		gs, ge := r.gapAt(i)
+		if gs != ref.gaps[i].start || ge != ref.gaps[i].end {
+			t.Fatalf("gap %d: (%d,%d) != reference %+v", i, gs, ge, ref.gaps[i])
+		}
+	}
+}

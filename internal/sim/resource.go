@@ -114,8 +114,16 @@ type Zipf struct {
 
 // NewZipf precomputes the CDF; n must be positive.
 func NewZipf(rng *Rng, s float64, n int) *Zipf {
+	return NewZipfCDF(rng, ZipfCDF(s, n))
+}
+
+// ZipfCDF precomputes the CDF for skew s over [0, n). The CDF depends only
+// on (s, n), so callers creating many generators over the same distribution
+// (one per warp, say) should compute it once and share it via NewZipfCDF:
+// the math.Pow loop dominates trace generation otherwise.
+func ZipfCDF(s float64, n int) []float64 {
 	if n <= 0 {
-		panic("sim: NewZipf with non-positive n")
+		panic("sim: ZipfCDF with non-positive n")
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -126,7 +134,16 @@ func NewZipf(rng *Rng, s float64, n int) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{n: n, cdf: cdf, rng: rng}
+	return cdf
+}
+
+// NewZipfCDF builds a generator over a CDF from ZipfCDF. The CDF is shared,
+// not copied; it is read-only to the generator.
+func NewZipfCDF(rng *Rng, cdf []float64) *Zipf {
+	if len(cdf) == 0 {
+		panic("sim: NewZipfCDF with empty cdf")
+	}
+	return &Zipf{n: len(cdf), cdf: cdf, rng: rng}
 }
 
 // Next draws the next index.

@@ -5,8 +5,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Time is simulation time in picoseconds. Using integer picoseconds keeps
@@ -29,6 +29,10 @@ const Forever Time = 1<<62 - 1
 // String renders the time with an adaptive unit, e.g. "1.234us".
 func (t Time) String() string {
 	switch {
+	case t == math.MinInt64:
+		// -t would overflow back to MinInt64 and recurse forever; render
+		// the one unnegatable value directly in seconds.
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
 	case t < 0:
 		return fmt.Sprintf("-%s", -t)
 	case t < Nanosecond:
@@ -60,42 +64,44 @@ func FreqToPeriod(hz float64) Time {
 	return Time(1e12/hz + 0.5)
 }
 
-// Event is a scheduled callback. Events with equal time fire in the order of
-// their sequence numbers (i.e. scheduling order), which makes simulations
-// deterministic regardless of heap internals.
+// Handler is the closure-free event callback: components implement it once
+// and pass a uint64 argument (a warp index, a request id) per event, so the
+// steady-state event loop allocates nothing. The hot schedulers (GPU warp
+// issue/retire) use this path; Schedule(at, func()) remains as a
+// compatibility shim for cold paths and tests.
+type Handler interface {
+	Handle(arg uint64)
+}
+
+// event is one scheduled callback, stored by value in the engine's arena.
+// Events with equal time fire in the order of their sequence numbers (i.e.
+// scheduling order), which makes simulations deterministic regardless of
+// heap internals. Exactly one of fn and h is set.
 type event struct {
 	at  Time
 	seq uint64
+	arg uint64
+	h   Handler
 	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // ready to use.
+//
+// The queue is an index-based 4-ary min-heap: events live by value in an
+// arena slice whose slots are recycled through a free-list, and the heap
+// orders int32 arena indices. Compared to the former container/heap of
+// *event this removes the per-event allocation, the interface{} boxing on
+// push/pop, and two levels of pointer indirection per comparison; sift
+// operations move 4-byte indices instead of 48-byte events.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	fired  uint64
+	now   Time
+	seq   uint64
+	fired uint64
+
+	arena []event // event storage, indexed by heap entries
+	heap  []int32 // 4-ary min-heap of arena indices ordered by (at, seq)
+	free  []int32 // recycled arena slots
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -108,17 +114,112 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// less orders heap entries by (at, seq).
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// push inserts an event, reusing a free arena slot when one exists.
+func (e *Engine) push(ev event) {
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.arena[slot] = ev
+	} else {
+		slot = int32(len(e.arena))
+		e.arena = append(e.arena, ev)
+	}
+	e.heap = append(e.heap, slot)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// pop removes and returns the arena index of the earliest event.
+func (e *Engine) pop() int32 {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return root
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	idx := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(idx, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = idx
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	idx := h[i]
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], idx) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = idx
+}
 
 // Schedule runs fn at absolute time at. Scheduling in the past panics: it is
 // always a model bug, and silently clamping would hide causality violations.
+//
+// This is the compatibility shim over the value-typed queue: the closure
+// itself is still one allocation at the call site. Hot paths should use
+// ScheduleID.
 func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %s before now %s", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.push(event{at: at, seq: e.seq, fn: fn})
 	e.seq++
-	heap.Push(&e.events, ev)
+}
+
+// ScheduleID runs h.Handle(arg) at absolute time at. It shares the sequence
+// counter with Schedule, so closure and closure-free events interleave in
+// exact scheduling order. The steady-state cost is zero allocations: the
+// Handler is an interface over a pre-existing pointer and the event is
+// stored by value in a recycled arena slot.
+func (e *Engine) ScheduleID(at Time, h Handler, arg uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %s before now %s", at, e.now))
+	}
+	e.push(event{at: at, seq: e.seq, h: h, arg: arg})
+	e.seq++
 }
 
 // After runs fn delay picoseconds from now.
@@ -129,16 +230,35 @@ func (e *Engine) After(delay Time, fn func()) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// AfterID runs h.Handle(arg) delay picoseconds from now on the closure-free
+// path.
+func (e *Engine) AfterID(delay Time, h Handler, arg uint64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %s", delay))
+	}
+	e.ScheduleID(e.now+delay, h, arg)
+}
+
 // Step executes the next event, advancing the clock. It reports whether an
 // event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
-	e.now = ev.at
+	slot := e.pop()
+	ev := &e.arena[slot]
+	at, h, arg, fn := ev.at, ev.h, ev.arg, ev.fn
+	// Clear the slot's references before recycling so the arena does not
+	// pin dead closures or handlers for the GC.
+	ev.h, ev.fn = nil, nil
+	e.free = append(e.free, slot)
+	e.now = at
 	e.fired++
-	ev.fn()
+	if h != nil {
+		h.Handle(arg)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -151,7 +271,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with time <= deadline. The clock is left at the
 // later of its current value and deadline.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for len(e.heap) > 0 && e.arena[e.heap[0]].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {

@@ -1,0 +1,36 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// BenchmarkAddEnergyHandle is the pre-interned hot-counter path: no string
+// hashing, 0 allocs/op.
+func BenchmarkAddEnergyHandle(b *testing.B) {
+	c := NewCollector()
+	h := c.InternEnergy("opti-network")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.AddEnergyH(h, 0.2)
+	}
+}
+
+// BenchmarkAddEnergyString is the string-keyed map path the handles
+// replaced on per-access code.
+func BenchmarkAddEnergyString(b *testing.B) {
+	c := NewCollector()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.AddEnergy("opti-network", 0.2)
+	}
+}
+
+func BenchmarkLatencyDistAdd(b *testing.B) {
+	var d LatencyDist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Add(sim.Time(1000 + i%100000))
+	}
+}

@@ -169,3 +169,49 @@ func TestClassString(t *testing.T) {
 		t.Fatal("class strings wrong")
 	}
 }
+
+func TestHandleCountersAllocFree(t *testing.T) {
+	c := NewCollector()
+	he := c.InternEnergy("opti-network")
+	hx := c.InternExtra("xp-lat-sum")
+	allocs := testing.AllocsPerRun(2000, func() {
+		c.AddEnergyH(he, 1.5)
+		c.AddExtraH(hx, 2.0)
+	})
+	if allocs != 0 {
+		t.Fatalf("handle counters allocate %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestHandleCountersFoldIntoMaps(t *testing.T) {
+	c := NewCollector()
+	he := c.InternEnergy("laser")
+	hx := c.InternExtra("waits")
+	unused := c.InternExtra("never-touched")
+	_ = unused
+	c.AddEnergyH(he, 3)
+	c.AddEnergyH(he, 4)
+	c.AddExtraH(hx, 1)
+	// String-keyed adds to the same component coexist with handle adds.
+	c.AddEnergy("laser", 10)
+
+	rep := c.Snapshot(sim.Second, 1e9)
+	if got := rep.EnergyPJ["laser"]; got != 17 {
+		t.Fatalf("laser energy = %v, want 17", got)
+	}
+	if got := rep.Extra["waits"]; got != 1 {
+		t.Fatalf("waits = %v, want 1", got)
+	}
+	if _, ok := rep.Extra["never-touched"]; ok {
+		t.Fatal("interning alone must not create map keys")
+	}
+	// Flushing is idempotent: a second snapshot sees the same totals.
+	rep2 := c.Snapshot(sim.Second, 1e9)
+	if rep2.EnergyPJ["laser"] != 17 || rep2.Extra["waits"] != 1 {
+		t.Fatalf("second snapshot changed totals: %v / %v", rep2.EnergyPJ["laser"], rep2.Extra["waits"])
+	}
+	// Re-interning returns the same handle.
+	if c.InternEnergy("laser") != he || c.InternExtra("waits") != hx {
+		t.Fatal("re-interning a name must return the original handle")
+	}
+}

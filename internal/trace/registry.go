@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"sync"
+
+	"repro/internal/config"
+)
+
+// The in-process trace registry: generated traces are deterministic pure
+// functions of the workload and the handful of config fields Generate reads,
+// so multi-cell sweeps that visit the same workload at the same trace
+// geometry can share one immutable *Trace instead of regenerating it per
+// cell. Trace generation used to dominate cold-cell profiles (the Zipf CDF
+// and per-warp streams), so a 140-cell grid paid it up to 140 times.
+//
+// Entries are sync.Once-guarded: concurrent sweep workers asking for the
+// same key block on one generation instead of racing duplicates. Traces
+// returned by Cached are shared and MUST be treated as read-only — callers
+// that mutate instruction streams (GeneratePhased's hot-set rotation) keep
+// calling Generate for a private copy.
+
+// traceKey captures every input Generate reads. Two configs with equal keys
+// produce bit-identical traces.
+type traceKey struct {
+	wl        config.Workload
+	seed      uint64
+	maxInstr  int
+	sms       int
+	warpsPer  int
+	lineBytes int
+	pageBytes int
+}
+
+type traceEntry struct {
+	once sync.Once
+	tr   *Trace
+}
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[traceKey]*traceEntry)
+)
+
+func keyFor(w config.Workload, c *config.Config) traceKey {
+	return traceKey{
+		wl:        w,
+		seed:      c.Seed,
+		maxInstr:  c.MaxInstructions,
+		sms:       c.GPU.SMs,
+		warpsPer:  c.GPU.WarpsPerSM,
+		lineBytes: c.GPU.LineBytes,
+		pageBytes: c.Memory.PageBytes,
+	}
+}
+
+// Cached returns the shared immutable trace for (w, c), generating it on
+// first use. Safe for concurrent use; see the package comment on mutation.
+func Cached(w config.Workload, c *config.Config) *Trace {
+	k := keyFor(w, c)
+	regMu.Lock()
+	e := registry[k]
+	if e == nil {
+		e = &traceEntry{}
+		registry[k] = e
+	}
+	regMu.Unlock()
+	e.once.Do(func() { e.tr = Generate(w, c) })
+	return e.tr
+}
+
+// CachedByName resolves a Table II workload name and returns its shared
+// trace; the drop-in cached variant of GenerateByName.
+func CachedByName(name string, c *config.Config) (*Trace, error) {
+	w, ok := config.WorkloadByName(name)
+	if !ok {
+		return nil, unknownWorkloadErr(name)
+	}
+	return Cached(w, c), nil
+}
+
+// ResetCache drops all cached traces (tests, or reclaiming memory between
+// sweeps over disjoint geometries).
+func ResetCache() {
+	regMu.Lock()
+	registry = make(map[traceKey]*traceEntry)
+	regMu.Unlock()
+}
+
+// CacheLen reports how many distinct traces are resident (diagnostics).
+func CacheLen() int {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return len(registry)
+}

@@ -194,9 +194,14 @@ func Generate(w config.Workload, c *config.Config) *Trace {
 		memProb = 0.95
 	}
 
+	// The Zipf CDF depends only on (skew, nPages): compute it once and share
+	// it across warps. Per-warp NewZipf recomputed the math.Pow-heavy CDF
+	// nWarps times and dominated whole-cell profiles.
+	cdf := sim.ZipfCDF(w.HotSkew, nPages)
+
 	for wi := 0; wi < nWarps; wi++ {
 		rng := sim.NewRng(c.Seed ^ uint64(wi)*0x9E3779B97F4A7C15 ^ hashName(w.Name))
-		zipf := sim.NewZipf(rng, w.HotSkew, nPages)
+		zipf := sim.NewZipfCDF(rng, cdf)
 		tr := make(WarpTrace, 0, c.MaxInstructions)
 
 		curPage := int(perm[zipf.Next()])
@@ -227,14 +232,20 @@ func Generate(w config.Workload, c *config.Config) *Trace {
 	return t
 }
 
-// GenerateByName is a convenience wrapper resolving a Table II name.
+// GenerateByName is a convenience wrapper resolving a Table II name. It
+// always generates a fresh private trace; use CachedByName on paths that
+// only read the trace.
 func GenerateByName(name string, c *config.Config) (*Trace, error) {
 	w, ok := config.WorkloadByName(name)
 	if !ok {
-		return nil, fmt.Errorf("trace: unknown workload %q (Table II names: %v)",
-			name, config.WorkloadNames())
+		return nil, unknownWorkloadErr(name)
 	}
 	return Generate(w, c), nil
+}
+
+func unknownWorkloadErr(name string) error {
+	return fmt.Errorf("trace: unknown workload %q (Table II names: %v)",
+		name, config.WorkloadNames())
 }
 
 // hashName folds a workload name into the RNG seed so two workloads with the

@@ -1,0 +1,97 @@
+// Root kernel benchmarks: the steady-state schedule->fire loop of the
+// discrete-event engine, closure vs closure-free, plus a cold-cell
+// end-to-end run. scripts/bench.sh records them into BENCH_<n>.json and CI
+// runs a short -benchtime=100x smoke pass so they cannot bit-rot.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// benchChurn keeps the event population constant: every fired event
+// schedules its successor — the simulator's steady state.
+type benchChurn struct{ eng *sim.Engine }
+
+func (c *benchChurn) Handle(arg uint64) {
+	c.eng.ScheduleID(c.eng.Now()+sim.Time(1+arg%97), c, arg+1)
+}
+
+// BenchmarkKernelScheduleID measures the closure-free hot path. Expected
+// steady state: 0 allocs/op.
+func BenchmarkKernelScheduleID(b *testing.B) {
+	eng := sim.NewEngine()
+	h := &benchChurn{eng: eng}
+	const population = 128
+	for i := 0; i < population; i++ {
+		eng.ScheduleID(sim.Time(i), h, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// BenchmarkKernelScheduleClosure measures the compatibility shim the way
+// the old hot path used it: every reschedule allocates a fresh capturing
+// closure (the former gpu.step pattern `func() { g.step(w) }`).
+func BenchmarkKernelScheduleClosure(b *testing.B) {
+	eng := sim.NewEngine()
+	var reschedule func(arg uint64)
+	reschedule = func(arg uint64) {
+		eng.Schedule(eng.Now()+sim.Time(1+arg%97), func() { reschedule(arg + 1) })
+	}
+	const population = 128
+	for i := 0; i < population; i++ {
+		i := uint64(i)
+		eng.Schedule(sim.Time(i), func() { reschedule(i) })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Step()
+	}
+}
+
+// BenchmarkKernelColdCell is one full cold simulation — fresh system, fresh
+// trace (the registry is bypassed via Generate) — the unit cost every sweep
+// pays per uncached cell.
+func BenchmarkKernelColdCell(b *testing.B) {
+	cfg := config.Default(config.OhmBW, config.Planar)
+	cfg.MaxInstructions = 2000
+	w, ok := config.WorkloadByName("bfsdata")
+	if !ok {
+		b.Fatal("bfsdata missing")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := trace.Generate(w, &cfg)
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.RunTrace(tr)
+	}
+}
+
+// BenchmarkKernelWarmCell is the same cell with the shared trace registry
+// warm — the steady-state unit cost of a large sweep.
+func BenchmarkKernelWarmCell(b *testing.B) {
+	cfg := config.Default(config.OhmBW, config.Planar)
+	cfg.MaxInstructions = 2000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := core.NewSystem(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.RunWorkload("bfsdata"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

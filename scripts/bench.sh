@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — run the perf-trajectory benchmark suite and emit a
+# machine-readable BENCH_<n>.json at the repo root.
+#
+# Usage:
+#   scripts/bench.sh            # writes BENCH_2.json
+#   scripts/bench.sh BENCH_3.json
+#
+# The suite covers three layers:
+#   - kernel:   BenchmarkKernelSchedule* (steady-state event loop, allocs/op)
+#   - cell:     BenchmarkKernelColdCell / BenchmarkKernelWarmCell and
+#               BenchmarkSingleRun/* (one end-to-end simulation)
+#   - figures:  BenchmarkFig3 (the motivation study; warm iterations hit the
+#               in-process result cache, so run it cold-aware via benchtime)
+#
+# Each PR that changes a hot path re-runs this script and commits the new
+# BENCH_<n>.json, so the perf trajectory is recorded next to the code.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_2.json}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "bench: kernel steady state" >&2
+go test -run='^$' -bench='BenchmarkKernelSchedule' -benchmem -benchtime=300000x . | tee -a "$TMP" >&2
+echo "bench: single cells" >&2
+go test -run='^$' -bench='BenchmarkKernel.*Cell|BenchmarkSingleRun' -benchmem -benchtime=5x . | tee -a "$TMP" >&2
+echo "bench: figure driver (cold first iteration + warm cache)" >&2
+go test -run='^$' -bench='BenchmarkFig3$' -benchmem -benchtime=3x . | tee -a "$TMP" >&2
+echo "bench: micro (sim/cache/stats/dram/optical)" >&2
+go test -run='^$' -bench='.' -benchmem -benchtime=10000x \
+  ./internal/sim ./internal/cache ./internal/stats ./internal/dram ./internal/optical | tee -a "$TMP" >&2
+echo "bench: trace generation and registry" >&2
+go test -run='^$' -bench='.' -benchmem -benchtime=20x ./internal/trace | tee -a "$TMP" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2; ns = ""; bytes = ""; allocs = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  names[n] = name; its[n] = iters; nss[n] = ns; bs[n] = bytes; as[n] = allocs; n++
+}
+END {
+  printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, gover
+  for (i = 0; i < n; i++) {
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
+    if (bs[i] != "") printf ", \"b_per_op\": %s", bs[i]
+    if (as[i] != "") printf ", \"allocs_per_op\": %s", as[i]
+    printf "}%s\n", (i < n-1 ? "," : "")
+  }
+  printf "  ]\n}\n"
+}' "$TMP" > "$OUT"
+
+echo "bench: wrote $OUT" >&2
