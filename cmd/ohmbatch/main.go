@@ -16,7 +16,6 @@
 package main
 
 import (
-	"encoding/csv"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,7 +28,6 @@ import (
 	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/prof"
-	"repro/internal/stats"
 )
 
 func main() {
@@ -98,9 +96,9 @@ func main() {
 	}
 	switch *format {
 	case "json":
-		err = emitJSON(w, cells, reports)
+		err = batch.WriteJSON(w, cells, reports)
 	case "csv":
-		err = emitCSV(w, cells, reports)
+		err = batch.WriteCSV(w, cells, reports)
 	default:
 		err = fmt.Errorf("unknown format %q (json|csv)", *format)
 	}
@@ -169,71 +167,6 @@ func buildSpec(path, platforms, modes, workloads, waveguides string, instr int) 
 		spec.MaxInstructions = instr
 	}
 	return spec, nil
-}
-
-// row is one cell's identity + report in the JSON output.
-type row struct {
-	Index      int          `json:"index"`
-	Platform   string       `json:"platform"`
-	Mode       string       `json:"mode"`
-	Workload   string       `json:"workload"`
-	Waveguides int          `json:"waveguides"`
-	Report     stats.Report `json:"report"`
-}
-
-func emitJSON(w io.Writer, cells []batch.Cell, reports []stats.Report) error {
-	rows := make([]row, len(cells))
-	for i, c := range cells {
-		rows[i] = row{
-			Index:      c.Index,
-			Platform:   c.Platform.String(),
-			Mode:       c.Mode.String(),
-			Workload:   c.Workload,
-			Waveguides: c.Config.Optical.Waveguides,
-			Report:     reports[i],
-		}
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rows)
-}
-
-func emitCSV(w io.Writer, cells []batch.Cell, reports []stats.Report) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{
-		"index", "platform", "mode", "workload", "waveguides",
-		"elapsed_ps", "ipc", "mean_latency_ps", "p99_latency_ps",
-		"copy_fraction", "instructions", "mem_requests", "migrations",
-		"regular_bytes", "copy_bytes", "energy_pj",
-	}); err != nil {
-		return err
-	}
-	for i, c := range cells {
-		r := reports[i]
-		rec := []string{
-			strconv.Itoa(c.Index),
-			c.Platform.String(),
-			c.Mode.String(),
-			c.Workload,
-			strconv.Itoa(c.Config.Optical.Waveguides),
-			strconv.FormatInt(int64(r.Elapsed), 10),
-			strconv.FormatFloat(r.IPC, 'g', -1, 64),
-			strconv.FormatInt(int64(r.MeanLatency), 10),
-			strconv.FormatInt(int64(r.P99Latency), 10),
-			strconv.FormatFloat(r.CopyFraction, 'g', -1, 64),
-			strconv.FormatUint(r.Instructions, 10),
-			strconv.FormatUint(r.MemRequests, 10),
-			strconv.FormatUint(r.Migrations, 10),
-			strconv.FormatUint(r.RegularBytes, 10),
-			strconv.FormatUint(r.CopyBytes, 10),
-			strconv.FormatFloat(r.TotalEnergyPJ(), 'g', -1, 64),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
 }
 
 // stopProfiles flushes any active pprof profiles; fatalf must run it

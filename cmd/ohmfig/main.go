@@ -6,15 +6,15 @@
 //	ohmfig fig16 fig17          # selected figures
 //	ohmfig -quick fig8          # reduced workloads / trace length
 //	ohmfig -workloads lud,sssp -instr 5000 fig18
+//	ohmfig -list                # print every registered experiment id
 //
-// Recognised ids: fig3a fig3b fig8 fig16 fig17 fig18 fig19 fig20a fig20b
-// fig21 table2 table3, plus the ablations abl-threshold abl-pagesize
-// abl-startgap abl-mshr abl-division abl-phases, and endurance (pass -workloads to pick
-// the ablation workload; the first one is used).
+// Experiment ids resolve through the internal/experiments registry — the
+// same registry the ohmserve daemon exposes over HTTP — so `ohmfig <id>`
+// and `POST /v1/sweeps {"experiment": "<id>"}` run identical drivers; with
+// -json the output bytes match the daemon's result endpoint exactly.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,25 +23,24 @@ import (
 	"repro/internal/experiments"
 )
 
-// renderer is any experiment result.
-type renderer interface{ Render() string }
-
 func main() {
 	quick := flag.Bool("quick", false, "reduced workload set and trace length")
 	workloads := flag.String("workloads", "", "comma-separated workload subset")
 	instr := flag.Int("instr", 0, "instructions per warp (0 = default)")
 	asJSON := flag.Bool("json", false, "emit results as JSON instead of tables")
+	list := flag.Bool("list", false, "list registered experiment ids and exit")
 	flag.Parse()
 
-	opt := experiments.Options{MaxInstructions: *instr}
-	if *quick {
-		opt.Workloads = []string{"lud", "bfsdata", "pagerank"}
-		if opt.MaxInstructions == 0 {
-			opt.MaxInstructions = 4000
+	if *list {
+		for _, d := range experiments.Drivers() {
+			fmt.Printf("%-14s %s\n", d.ID, d.Title)
 		}
+		return
 	}
+
+	p := experiments.Params{Quick: *quick, MaxInstructions: *instr}
 	if *workloads != "" {
-		opt.Workloads = strings.Split(*workloads, ",")
+		p.Workloads = strings.Split(*workloads, ",")
 	}
 
 	ids := flag.Args()
@@ -51,76 +50,24 @@ func main() {
 	}
 
 	for _, id := range ids {
-		r, err := run(id, opt)
+		d, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ohmfig: unknown experiment id %q (known: %s)\n",
+				id, strings.Join(experiments.IDs(), " "))
+			os.Exit(1)
+		}
+		r, err := d.RunParams(p)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ohmfig: %s: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "ohmfig: %s: %v\n", d.ID, err)
 			os.Exit(1)
 		}
 		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			if err := enc.Encode(map[string]interface{}{"id": id, "result": r}); err != nil {
-				fmt.Fprintf(os.Stderr, "ohmfig: %s: %v\n", id, err)
+			if err := experiments.EncodeResultJSON(os.Stdout, d.ID, r); err != nil {
+				fmt.Fprintf(os.Stderr, "ohmfig: %s: %v\n", d.ID, err)
 				os.Exit(1)
 			}
 			continue
 		}
 		fmt.Println(r.Render())
 	}
-}
-
-func run(id string, opt experiments.Options) (renderer, error) {
-	switch strings.ToLower(id) {
-	case "fig3a":
-		return experiments.Fig3a(opt)
-	case "fig3b":
-		return experiments.Fig3b(opt)
-	case "fig8":
-		return experiments.Fig8(opt)
-	case "fig16":
-		return experiments.Fig16(opt)
-	case "fig17":
-		return experiments.Fig17(opt)
-	case "fig18":
-		return experiments.Fig18(opt)
-	case "fig19":
-		return experiments.Fig19(opt)
-	case "fig20a":
-		return experiments.Fig20a(opt)
-	case "fig20b":
-		return experiments.Fig20b(), nil
-	case "fig21":
-		return experiments.Fig21(opt)
-	case "table2":
-		return experiments.Table2(opt), nil
-	case "table3":
-		return experiments.Table3(), nil
-	case "abl-threshold":
-		return experiments.AblationHotThreshold(opt, ablWorkload(opt))
-	case "abl-pagesize":
-		return experiments.AblationPageSize(opt, ablWorkload(opt))
-	case "abl-startgap":
-		return experiments.AblationStartGap(opt, ablWorkload(opt))
-	case "abl-mshr":
-		return experiments.AblationMSHR(opt, ablWorkload(opt))
-	case "abl-division":
-		return experiments.AblationChannelDivision(opt, ablWorkload(opt))
-	case "abl-noc":
-		return experiments.AblationNoC(opt, ablWorkload(opt))
-	case "abl-phases":
-		return experiments.AblationPhases(opt, ablWorkload(opt))
-	case "endurance":
-		return experiments.Endurance(opt, ablWorkload(opt))
-	default:
-		return nil, fmt.Errorf("unknown experiment id (fig3a fig3b fig8 fig16 fig17 fig18 fig19 fig20a fig20b fig21 table2 table3 abl-*)")
-	}
-}
-
-// ablWorkload picks the ablation workload: the first selected workload, or
-// pagerank.
-func ablWorkload(opt experiments.Options) string {
-	if len(opt.Workloads) > 0 {
-		return opt.Workloads[0]
-	}
-	return "pagerank"
 }

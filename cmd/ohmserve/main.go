@@ -1,0 +1,96 @@
+// Command ohmserve is the sweep-as-a-service daemon: a long-running HTTP
+// front-end over the parallel batch engine and the experiment registry,
+// so figures and sweeps are served from one warm process (and one shared
+// result cache) instead of a fresh CLI run each time.
+//
+// Usage:
+//
+//	ohmserve                                  # listen on :8080, disk cache
+//	ohmserve -addr :9090 -cache '' -job-workers 4
+//
+// Example session:
+//
+//	curl -s -X POST localhost:8080/v1/sweeps \
+//	    -d '{"experiment":"fig16","params":{"quick":true}}'   # -> {"id":"job-000001",...}
+//	curl -s localhost:8080/v1/jobs/job-000001                 # poll per-cell progress
+//	curl -s localhost:8080/v1/jobs/job-000001/result          # ohmfig-identical JSON
+//	curl -s -X POST localhost:8080/v1/sweeps -d '{"spec":{"modes":["planar"]}}'
+//	curl -s localhost:8080/v1/jobs/job-000002/result?format=csv
+//	curl -s -X DELETE localhost:8080/v1/jobs/job-000002       # cancel
+//	curl -s localhost:8080/v1/experiments                     # registered drivers
+//
+// SIGINT/SIGTERM drains gracefully: intake stops, queued and running jobs
+// get -drain-timeout to finish, then whatever remains is cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/batch"
+	"repro/internal/config"
+	"repro/internal/serve"
+)
+
+func main() {
+	def := config.DefaultServe()
+	addr := flag.String("addr", def.Addr, "HTTP listen address")
+	cacheDir := flag.String("cache", def.CacheDir, "result cache directory (empty = in-memory only)")
+	jobWorkers := flag.Int("job-workers", def.JobWorkers, "jobs executing concurrently")
+	queueDepth := flag.Int("queue", def.QueueDepth, "max queued jobs before submissions get 503")
+	cellWorkers := flag.Int("cell-workers", def.CellWorkers, "process-wide concurrent simulations (0 = GOMAXPROCS)")
+	history := flag.Int("job-history", def.JobHistory, "finished jobs kept queryable before eviction")
+	drain := flag.Duration("drain-timeout", def.DrainTimeout, "graceful drain budget on SIGTERM")
+	flag.Parse()
+
+	var cache batch.Cache = batch.NewMemCache()
+	if *cacheDir != "" {
+		dc, err := batch.NewDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ohmserve: %v\n", err)
+			os.Exit(1)
+		}
+		cache = dc
+	}
+	runner := batch.NewRunner(*cellWorkers, cache)
+	manager := serve.NewManager(runner, *jobWorkers, *queueDepth)
+	manager.Retain = *history
+
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(manager)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("ohmserve: listening on %s (cache=%s, job-workers=%d, queue=%d)",
+		*addr, cacheLabel(*cacheDir), *jobWorkers, *queueDepth)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("ohmserve: %v received, draining (budget %s)", s, *drain)
+	case err := <-errCh:
+		log.Fatalf("ohmserve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("ohmserve: http shutdown: %v", err)
+	}
+	manager.Shutdown(ctx)
+	st := runner.Stats()
+	log.Printf("ohmserve: drained (cache hits=%d shared=%d simulated=%d)", st.Hits, st.Shared, st.Misses)
+}
+
+func cacheLabel(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}

@@ -1,12 +1,16 @@
 package batch
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -320,5 +324,297 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(rep, back) {
 		t.Fatalf("round trip changed report:\n%+v\n%+v", rep, back)
+	}
+}
+
+// TestDiskCacheCorruptedEntryIsMissAndRewritten covers crash/partial-write
+// recovery: truncated or garbage cache files must behave as misses — the
+// runner re-simulates the cell and rewrites a good entry — never crash.
+func TestDiskCacheCorruptedEntryIsMissAndRewritten(t *testing.T) {
+	cache, err := NewDiskCache(filepath.Join(t.TempDir(), "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := Cell{Config: config.Default(config.OhmBW, config.Planar), Workload: "lud"}
+	key, err := cell.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, garbage := range [][]byte{nil, []byte("{"), []byte(`{"IPC": "not a number"}`), []byte("\x00\xff\x17 binary junk")} {
+		p := cache.path(key)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, garbage, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := cache.Get(key); ok {
+			t.Fatalf("corrupt entry %q served as a hit", garbage)
+		}
+
+		var calls atomic.Int64
+		counting := func(cfg config.Config, w string) (stats.Report, error) {
+			calls.Add(1)
+			return fakeRun(cfg, w)
+		}
+		r := &Runner{Workers: 1, Cache: cache, RunFn: counting}
+		reps, err := r.Run([]Cell{cell})
+		if err != nil {
+			t.Fatalf("runner crashed on corrupt cache entry %q: %v", garbage, err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("corrupt entry not treated as a miss: %d simulations", calls.Load())
+		}
+		if st := r.Stats(); st.Hits != 0 || st.Misses != 1 {
+			t.Fatalf("stats after corrupt entry = %+v", st)
+		}
+		// The entry must have been rewritten with the good report.
+		back, ok := cache.Get(key)
+		if !ok {
+			t.Fatal("entry not rewritten after corruption")
+		}
+		if !reflect.DeepEqual(back, reps[0]) {
+			t.Fatalf("rewritten entry differs from result:\n%+v\n%+v", back, reps[0])
+		}
+	}
+}
+
+// TestSingleFlightSharesOneSimulation proves that two concurrent runs of
+// the same cell on one shared Runner simulate it once: the second caller
+// either joins the in-flight simulation or hits the cache the leader filled.
+func TestSingleFlightSharesOneSimulation(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	blocking := func(cfg config.Config, w string) (stats.Report, error) {
+		calls.Add(1)
+		<-release
+		return fakeRun(cfg, w)
+	}
+	r := &Runner{Workers: 4, Cache: NewMemCache(), RunFn: blocking}
+	cell := Cell{Config: config.Default(config.OhmBase, config.Planar), Workload: "lud"}
+
+	type result struct {
+		data []byte
+		err  error
+	}
+	runOnce := func(ch chan<- result) {
+		reps, err := r.Run([]Cell{cell})
+		if err != nil {
+			ch <- result{err: err}
+			return
+		}
+		data, err := json.Marshal(reps)
+		ch <- result{data: data, err: err}
+	}
+	a, b := make(chan result, 1), make(chan result, 1)
+	go runOnce(a)
+	// Wait for the leader to be inside the simulation before starting the
+	// second run, so the second run cannot win the race to lead.
+	for calls.Load() == 0 {
+		runtime.Gosched()
+	}
+	go runOnce(b)
+	close(release)
+	ra, rb := <-a, <-b
+	if ra.err != nil || rb.err != nil {
+		t.Fatalf("errs: %v / %v", ra.err, rb.err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("concurrent identical runs simulated %d times, want 1", calls.Load())
+	}
+	if string(ra.data) != string(rb.data) {
+		t.Fatal("shared single-flight result differs between callers")
+	}
+	st := r.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 miss (leader) + 1 hit (follower)", st)
+	}
+}
+
+// TestRunContextCancelStopsScheduling: cancelling the context drains
+// in-flight cells but starts no new ones, and the run reports the
+// cancellation wrapped with a cell identity.
+func TestRunContextCancelStopsScheduling(t *testing.T) {
+	var calls atomic.Int64
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	blocking := func(cfg config.Config, w string) (stats.Report, error) {
+		calls.Add(1)
+		select {
+		case started <- struct{}{}:
+		default:
+		}
+		<-release
+		return fakeRun(cfg, w)
+	}
+	cells := SweepSpec{
+		Platforms: []config.Platform{config.OhmBase},
+		Modes:     []config.MemMode{config.Planar},
+		Workloads: []string{"lud", "sssp", "pagerank", "bfstopo"},
+	}.Cells()
+
+	r := &Runner{Workers: 1, RunFn: blocking}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := r.RunContext(ctx, cells, nil)
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	close(release)
+	err := <-errCh
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("cancelled run simulated %d cells, want only the in-flight one", got)
+	}
+}
+
+// TestRunContextProgress pins the progress contract: monotonic done out of
+// a fixed total, and hit=false on a cold run vs hit=true on a warm rerun.
+func TestRunContextProgress(t *testing.T) {
+	cells := SweepSpec{
+		Platforms: []config.Platform{config.OhmBase, config.Oracle},
+		Modes:     []config.MemMode{config.Planar},
+		Workloads: []string{"lud", "sssp"},
+	}.Cells()
+	r := &Runner{Workers: 4, Cache: NewMemCache(), RunFn: fakeRun}
+
+	observe := func() (dones []int, totals []int, hits []bool) {
+		var mu sync.Mutex
+		_, err := r.RunContext(context.Background(), cells, func(done, total int, hit bool) {
+			mu.Lock()
+			dones = append(dones, done)
+			totals = append(totals, total)
+			hits = append(hits, hit)
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	dones, totals, hits := observe()
+	if len(dones) != len(cells) {
+		t.Fatalf("progress calls = %d, want %d", len(dones), len(cells))
+	}
+	for i := range dones {
+		if dones[i] != i+1 || totals[i] != len(cells) {
+			t.Fatalf("progress[%d] = (%d/%d), want (%d/%d)", i, dones[i], totals[i], i+1, len(cells))
+		}
+		if hits[i] {
+			t.Fatal("cold run reported a cache hit")
+		}
+	}
+	_, _, hits = observe()
+	for i, h := range hits {
+		if !h {
+			t.Fatalf("warm rerun progress[%d] not a cache hit", i)
+		}
+	}
+}
+
+// TestFollowerSurvivesLeaderCancellation: when the single-flight leader's
+// job is cancelled, a live follower must not inherit the cancellation —
+// it retakes the flight and simulates the cell itself.
+func TestFollowerSurvivesLeaderCancellation(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	var simulations atomic.Int64
+	run := func(cfg config.Config, w string) (stats.Report, error) {
+		simulations.Add(1)
+		started <- struct{}{}
+		<-release
+		return fakeRun(cfg, w)
+	}
+	r := &Runner{Workers: 1, Cache: NewMemCache(), RunFn: run}
+	occupy := Cell{Config: config.Default(config.Oracle, config.Planar), Workload: "sssp"}
+	shared := Cell{Config: config.Default(config.OhmBase, config.Planar), Workload: "lud"}
+	key, err := shared.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the single simulation slot so the shared cell's leader blocks in
+	// acquire — the only point where a leader can fail with a ctx error.
+	occDone := make(chan error, 1)
+	go func() { _, err := r.Run([]Cell{occupy}); occDone <- err }()
+	<-started
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	errA := make(chan error, 1)
+	go func() { _, err := r.RunContext(ctxA, []Cell{shared}, nil); errA <- err }()
+	for { // wait until A leads the shared cell's flight
+		r.mu.Lock()
+		_, inflight := r.flight[key]
+		r.mu.Unlock()
+		if inflight {
+			break
+		}
+		runtime.Gosched()
+	}
+	errB := make(chan error, 1)
+	go func() { _, err := r.RunContext(context.Background(), []Cell{shared}, nil); errB <- err }()
+
+	cancelA()
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled leader err = %v", err)
+	}
+	close(release)
+	if err := <-errB; err != nil {
+		t.Fatalf("follower inherited the leader's cancellation: %v", err)
+	}
+	if err := <-occDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := simulations.Load(); got != 2 {
+		t.Fatalf("simulations = %d, want 2 (occupy + retaken shared cell)", got)
+	}
+}
+
+// TestMissesCountOnlyRealSimulations: a cell abandoned by cancellation
+// while queued for a simulation slot must not count as a miss.
+func TestMissesCountOnlyRealSimulations(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	run := func(cfg config.Config, w string) (stats.Report, error) {
+		started <- struct{}{}
+		<-release
+		return fakeRun(cfg, w)
+	}
+	r := &Runner{Workers: 1, Cache: NewMemCache(), RunFn: run}
+	occupy := Cell{Config: config.Default(config.Oracle, config.Planar), Workload: "sssp"}
+	blocked := Cell{Config: config.Default(config.OhmBase, config.Planar), Workload: "lud"}
+
+	occDone := make(chan error, 1)
+	go func() { _, err := r.Run([]Cell{occupy}); occDone <- err }()
+	<-started // the only slot is held
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { _, err := r.RunContext(ctx, []Cell{blocked}, nil); errCh <- err }()
+	for { // wait until the blocked cell leads its flight (queued on the slot)
+		r.mu.Lock()
+		n := len(r.flight)
+		r.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	close(release)
+	if err := <-occDone; err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Misses != 1 {
+		t.Fatalf("Misses = %d, want 1 (only the occupy cell simulated)", st.Misses)
 	}
 }

@@ -1,0 +1,87 @@
+package batch
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+// Row is one cell's identity plus its report: the unit of machine-readable
+// sweep output shared by cmd/ohmbatch and the ohmserve daemon, so a saved
+// file and a served response are interchangeable.
+type Row struct {
+	Index      int          `json:"index"`
+	Platform   string       `json:"platform"`
+	Mode       string       `json:"mode"`
+	Workload   string       `json:"workload"`
+	Waveguides int          `json:"waveguides"`
+	Report     stats.Report `json:"report"`
+}
+
+// Rows pairs cells with their reports positionally.
+func Rows(cells []Cell, reports []stats.Report) []Row {
+	rows := make([]Row, len(cells))
+	for i, c := range cells {
+		rows[i] = Row{
+			Index:      c.Index,
+			Platform:   c.Platform.String(),
+			Mode:       c.Mode.String(),
+			Workload:   c.Workload,
+			Waveguides: c.Config.Optical.Waveguides,
+			Report:     reports[i],
+		}
+	}
+	return rows
+}
+
+// WriteJSON emits the sweep results as an indented JSON row array.
+func WriteJSON(w io.Writer, cells []Cell, reports []stats.Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Rows(cells, reports))
+}
+
+// csvHeader is the WriteCSV column set, exported through the header row.
+var csvHeader = []string{
+	"index", "platform", "mode", "workload", "waveguides",
+	"elapsed_ps", "ipc", "mean_latency_ps", "p99_latency_ps",
+	"copy_fraction", "instructions", "mem_requests", "migrations",
+	"regular_bytes", "copy_bytes", "energy_pj",
+}
+
+// WriteCSV emits the sweep results as CSV with a fixed header.
+func WriteCSV(w io.Writer, cells []Cell, reports []stats.Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i, c := range cells {
+		r := reports[i]
+		rec := []string{
+			strconv.Itoa(c.Index),
+			c.Platform.String(),
+			c.Mode.String(),
+			c.Workload,
+			strconv.Itoa(c.Config.Optical.Waveguides),
+			strconv.FormatInt(int64(r.Elapsed), 10),
+			strconv.FormatFloat(r.IPC, 'g', -1, 64),
+			strconv.FormatInt(int64(r.MeanLatency), 10),
+			strconv.FormatInt(int64(r.P99Latency), 10),
+			strconv.FormatFloat(r.CopyFraction, 'g', -1, 64),
+			strconv.FormatUint(r.Instructions, 10),
+			strconv.FormatUint(r.MemRequests, 10),
+			strconv.FormatUint(r.Migrations, 10),
+			strconv.FormatUint(r.RegularBytes, 10),
+			strconv.FormatUint(r.CopyBytes, 10),
+			strconv.FormatFloat(r.TotalEnergyPJ(), 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,6 +1,8 @@
 package batch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -14,8 +16,18 @@ import (
 // an independent single-threaded simulation, so the sweep is embarrassingly
 // parallel; results are returned in cell order regardless of completion
 // order, so parallel and serial runs of the same spec are byte-identical.
+//
+// One Runner is safe to share across concurrent Run/RunContext calls — the
+// ohmserve daemon runs every job on a single process-wide Runner. Sharing
+// gives jobs three things: a common result cache, a process-wide cap on
+// concurrent simulations (the semaphore below, so N jobs cannot
+// oversubscribe the machine N-fold), and single-flight deduplication on
+// cache keys, so two jobs that request the same cell at the same time
+// simulate it once and share the result.
 type Runner struct {
-	// Workers caps pool size; <=0 means GOMAXPROCS.
+	// Workers caps the number of concurrently executing simulations across
+	// all Run/RunContext calls on this Runner; <=0 means GOMAXPROCS. It must
+	// be set before the first Run.
 	Workers int
 	// Cache, when non-nil, short-circuits cells whose content address has a
 	// stored report and stores fresh results.
@@ -26,7 +38,22 @@ type Runner struct {
 
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	shared  atomic.Uint64
 	putErrs atomic.Uint64
+
+	semOnce sync.Once
+	sem     chan struct{}
+
+	mu     sync.Mutex
+	flight map[string]*flightCall
+}
+
+// flightCall is one in-flight cacheable simulation that concurrent
+// requesters of the same key can wait on instead of re-simulating.
+type flightCall struct {
+	done chan struct{}
+	rep  stats.Report
+	err  error
 }
 
 // NewRunner returns a Runner with the given pool size and cache (both may
@@ -36,17 +63,24 @@ func NewRunner(workers int, cache Cache) *Runner {
 }
 
 // Stats reports cache traffic since the Runner was created: hits served
-// from the cache, misses that ran a simulation, and store failures that
-// were tolerated (the result was still returned).
+// from the cache, misses that ran a simulation, single-flight waits that
+// shared another caller's in-flight simulation (also counted as hits), and
+// store failures that were tolerated (the result was still returned).
 type Stats struct {
 	Hits      uint64
 	Misses    uint64
+	Shared    uint64
 	PutErrors uint64
 }
 
 // Stats returns the accumulated counters.
 func (r *Runner) Stats() Stats {
-	return Stats{Hits: r.hits.Load(), Misses: r.misses.Load(), PutErrors: r.putErrs.Load()}
+	return Stats{
+		Hits:      r.hits.Load(),
+		Misses:    r.misses.Load(),
+		Shared:    r.shared.Load(),
+		PutErrors: r.putErrs.Load(),
+	}
 }
 
 func (r *Runner) workers() int {
@@ -55,6 +89,27 @@ func (r *Runner) workers() int {
 	}
 	return runtime.GOMAXPROCS(0)
 }
+
+// acquire takes one process-wide simulation slot; cancellation while
+// queued for a slot abandons the cell without simulating.
+func (r *Runner) acquire(ctx context.Context) error {
+	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.workers()) })
+	select {
+	case r.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (r *Runner) release() { <-r.sem }
+
+// Progress observes cell completions during RunContext: done counts cells
+// resolved so far out of total, and hit reports whether this cell came from
+// the cache (or a shared in-flight simulation) rather than a fresh run.
+// Calls are serialized and done is strictly increasing; cells abandoned by
+// cancellation or failure are never reported.
+type Progress func(done, total int, hit bool)
 
 // RunSpec expands the spec and runs its cells.
 func (r *Runner) RunSpec(spec SweepSpec) ([]stats.Report, error) {
@@ -65,8 +120,42 @@ func (r *Runner) RunSpec(spec SweepSpec) ([]stats.Report, error) {
 // cells. On failure it returns the error of the lowest-indexed failing
 // cell, wrapped with the cell's identity; all in-flight cells still drain.
 func (r *Runner) Run(cells []Cell) ([]stats.Report, error) {
+	return r.RunContext(context.Background(), cells, nil)
+}
+
+// RunContext is Run with cancellation and per-cell progress reporting.
+// Cancelling ctx stops new cells from starting and abandons cells queued
+// for a simulation slot; cells already simulating run to completion (the
+// discrete-event core is not interruptible) and their results still land
+// in the cache. A cancelled run returns ctx's error wrapped with the first
+// unstarted cell's identity.
+func (r *Runner) RunContext(ctx context.Context, cells []Cell, progress Progress) ([]stats.Report, error) {
 	reports := make([]stats.Report, len(cells))
 	errs := make([]error, len(cells))
+
+	var pmu sync.Mutex
+	completed := 0
+	note := func(hit bool) {
+		if progress == nil {
+			return
+		}
+		pmu.Lock()
+		completed++
+		progress(completed, len(cells), hit)
+		pmu.Unlock()
+	}
+
+	do := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		rep, hit, err := r.runCell(ctx, cells[i])
+		reports[i], errs[i] = rep, err
+		if err == nil {
+			note(hit)
+		}
+	}
 
 	n := r.workers()
 	if n > len(cells) {
@@ -74,7 +163,7 @@ func (r *Runner) Run(cells []Cell) ([]stats.Report, error) {
 	}
 	if n <= 1 {
 		for i := range cells {
-			reports[i], errs[i] = r.runCell(cells[i])
+			do(i)
 		}
 	} else {
 		jobs := make(chan int)
@@ -84,7 +173,7 @@ func (r *Runner) Run(cells []Cell) ([]stats.Report, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					reports[i], errs[i] = r.runCell(cells[i])
+					do(i)
 				}
 			}()
 		}
@@ -103,22 +192,113 @@ func (r *Runner) Run(cells []Cell) ([]stats.Report, error) {
 	return reports, nil
 }
 
-// runCell resolves one cell: cache lookup, then simulation, then store.
-func (r *Runner) runCell(c Cell) (stats.Report, error) {
+// runCell resolves one cell: cache lookup, then single-flight simulation,
+// then store. The bool result reports whether the cell was served without
+// simulating here (cache hit or shared in-flight result).
+func (r *Runner) runCell(ctx context.Context, c Cell) (stats.Report, bool, error) {
 	var key string
 	if r.Cache != nil && c.cacheable() {
 		k, err := c.Key()
 		if err != nil {
-			return stats.Report{}, err
+			return stats.Report{}, false, err
 		}
 		key = k
 		if rep, ok := r.Cache.Get(key); ok {
 			r.hits.Add(1)
-			return rep, nil
+			return rep, true, nil
 		}
 	}
-	r.misses.Add(1)
+	if key == "" {
+		rep, err := r.simulate(ctx, c)
+		return rep, false, err
+	}
 
+	// Single-flight: concurrent requests for one key (two jobs polling the
+	// same figure, overlapping sweeps) elect a leader that simulates while
+	// everyone else waits for its result.
+joinFlight:
+	r.mu.Lock()
+	if r.flight == nil {
+		r.flight = make(map[string]*flightCall)
+	}
+	if call, inflight := r.flight[key]; inflight {
+		r.mu.Unlock()
+		select {
+		case <-call.done:
+		case <-ctx.Done():
+			return stats.Report{}, false, ctx.Err()
+		}
+		if call.err != nil {
+			// A context error is the *leader's* cancellation, not ours: its
+			// job was deleted while this one is still live, so retake the
+			// flight (or hit the cache) instead of inheriting the error and
+			// cancelling an unrelated job.
+			if (errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+				goto joinFlight
+			}
+			return stats.Report{}, false, call.err
+		}
+		r.shared.Add(1)
+		r.hits.Add(1)
+		// Prefer the cached form so every caller gets a private decoded
+		// copy instead of aliasing the leader's report maps.
+		if rep, ok := r.Cache.Get(key); ok {
+			return rep, true, nil
+		}
+		return call.rep, true, nil
+	}
+	call := &flightCall{done: make(chan struct{})}
+	r.flight[key] = call
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		delete(r.flight, key)
+		r.mu.Unlock()
+		close(call.done)
+	}()
+
+	// A prior leader may have finished between our cache miss and taking
+	// flight leadership; its Put happens before its flight entry is
+	// removed, so re-checking the cache here closes that window.
+	if rep, ok := r.Cache.Get(key); ok {
+		r.hits.Add(1)
+		call.rep = rep
+		return rep, true, nil
+	}
+
+	rep, err := r.simulate(ctx, c)
+	if err != nil {
+		call.err = err
+		return stats.Report{}, false, err
+	}
+	// The cache is an optimization, not a correctness dependency: a failed
+	// Put (full disk, lost permissions) must not discard a successfully
+	// computed result, so it only bumps a counter the caller can surface.
+	if putErr := r.Cache.Put(key, rep); putErr != nil {
+		r.putErrs.Add(1)
+		call.rep = rep
+		return rep, false, nil
+	}
+	// Serve the stored form so cached and fresh paths are identical
+	// byte-for-byte (JSON round-tripping normalizes empty maps).
+	if cached, ok := r.Cache.Get(key); ok {
+		call.rep = cached
+		return cached, false, nil
+	}
+	call.rep = rep
+	return rep, false, nil
+}
+
+// simulate executes the cell under the process-wide concurrency cap. The
+// miss counter is bumped only once a slot is held: a cell abandoned by
+// cancellation while queued for a slot never simulated, and Stats.Misses
+// documents "misses that ran a simulation".
+func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, error) {
+	if err := r.acquire(ctx); err != nil {
+		return stats.Report{}, err
+	}
+	defer r.release()
+	r.misses.Add(1)
 	run := c.RunFn
 	if run == nil {
 		run = r.RunFn
@@ -126,24 +306,5 @@ func (r *Runner) runCell(c Cell) (stats.Report, error) {
 	if run == nil {
 		run = core.RunConfig
 	}
-	rep, err := run(c.Config, c.Workload)
-	if err != nil {
-		return stats.Report{}, err
-	}
-	if key != "" {
-		// The cache is an optimization, not a correctness dependency: a
-		// failed Put (full disk, lost permissions) must not discard a
-		// successfully computed result, so it only bumps a counter the
-		// caller can surface.
-		if err := r.Cache.Put(key, rep); err != nil {
-			r.putErrs.Add(1)
-			return rep, nil
-		}
-		// Serve the stored form so cached and fresh paths are identical
-		// byte-for-byte (JSON round-tripping normalizes empty maps).
-		if cached, ok := r.Cache.Get(key); ok {
-			return cached, nil
-		}
-	}
-	return rep, nil
+	return run(c.Config, c.Workload)
 }

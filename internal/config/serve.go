@@ -1,0 +1,45 @@
+package config
+
+import "time"
+
+// ServeConfig parameterizes the ohmserve daemon (cmd/ohmserve): where it
+// listens and how much simulation work it admits at once. Wall-clock
+// durations use time.Duration, not sim.Time — they bound the daemon, not
+// the simulated system.
+type ServeConfig struct {
+	// Addr is the HTTP listen address.
+	Addr string
+	// JobWorkers is how many jobs execute concurrently. Cells within and
+	// across jobs additionally share the engine's CellWorkers cap, so more
+	// job workers improve fairness (short jobs aren't stuck behind long
+	// ones) without oversubscribing the machine.
+	JobWorkers int
+	// QueueDepth bounds the FIFO of accepted-but-not-started jobs; a full
+	// queue rejects submissions with 503 rather than buffering unboundedly.
+	QueueDepth int
+	// CellWorkers caps concurrently executing simulations process-wide;
+	// <=0 means GOMAXPROCS.
+	CellWorkers int
+	// CacheDir is the on-disk result cache shared by every job; empty
+	// selects a memory-only cache.
+	CacheDir string
+	// JobHistory bounds how many finished jobs (with their results) stay
+	// queryable before the oldest are evicted.
+	JobHistory int
+	// DrainTimeout bounds the SIGTERM graceful drain: queued and running
+	// jobs get this long to finish before being cancelled.
+	DrainTimeout time.Duration
+}
+
+// DefaultServe returns the daemon defaults.
+func DefaultServe() ServeConfig {
+	return ServeConfig{
+		Addr:         ":8080",
+		JobWorkers:   2,
+		QueueDepth:   64,
+		CellWorkers:  0,
+		CacheDir:     ".ohmserve-cache",
+		JobHistory:   512,
+		DrainTimeout: 30 * time.Second,
+	}
+}

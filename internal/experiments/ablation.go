@@ -61,14 +61,15 @@ type ablationCell struct {
 	cell    batch.Cell
 }
 
-// ablationResult runs the settings' cells as one parallel batch and folds
-// each report into a row, extracting the namespaced ablation extras.
-func ablationResult(title string, acs []ablationCell) (*AblationResult, error) {
+// ablationResult runs the settings' cells as one parallel batch on the
+// options' engine and folds each report into a row, extracting the
+// namespaced ablation extras.
+func ablationResult(o Options, title string, acs []ablationCell) (*AblationResult, error) {
 	cells := make([]batch.Cell, len(acs))
 	for i, ac := range acs {
 		cells[i] = ac.cell
 	}
-	reps, err := runCells(cells)
+	reps, err := o.exec(cells)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +112,7 @@ func AblationHotThreshold(o Options, workload string) (*AblationResult, error) {
 			cell:    ohmBWCell(o, workload, func(c *config.Config) { c.Memory.HotThreshold = th }),
 		})
 	}
-	return ablationResult("Ablation — planar hot-page threshold (Ohm-BW, "+workload+")", acs)
+	return ablationResult(o, "Ablation — planar hot-page threshold (Ohm-BW, "+workload+")", acs)
 }
 
 // AblationPageSize sweeps the migration granularity: bigger pages amortize
@@ -125,7 +126,7 @@ func AblationPageSize(o Options, workload string) (*AblationResult, error) {
 			cell:    ohmBWCell(o, workload, func(c *config.Config) { c.Memory.PageBytes = pb }),
 		})
 	}
-	return ablationResult("Ablation — migration page size (Ohm-BW, planar, "+workload+")", acs)
+	return ablationResult(o, "Ablation — migration page size (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // runMaxWear executes a cell's config and folds the worst per-line XPoint
@@ -165,7 +166,7 @@ func AblationStartGap(o Options, workload string) (*AblationResult, error) {
 		cell.Salt, cell.RunFn = "abl-max-wear", runMaxWear
 		acs = append(acs, ablationCell{setting: setting, cell: cell})
 	}
-	return ablationResult("Ablation — Start-Gap wear levelling (Ohm-BW, planar, "+workload+")", acs)
+	return ablationResult(o, "Ablation — Start-Gap wear levelling (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // AblationMSHR quantifies L2 miss coalescing.
@@ -193,7 +194,7 @@ func AblationMSHR(o Options, workload string) (*AblationResult, error) {
 		cell.Salt, cell.RunFn = "abl-mshr-merges", runMerges
 		acs = append(acs, ablationCell{setting: setting, cell: cell})
 	}
-	return ablationResult("Ablation — L2 MSHR coalescing (Ohm-BW, planar, "+workload+")", acs)
+	return ablationResult(o, "Ablation — L2 MSHR coalescing (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // AblationChannelDivision compares static wavelength division (Table I's
@@ -222,7 +223,7 @@ func AblationChannelDivision(o Options, workload string) (*AblationResult, error
 		}
 		acs = append(acs, ablationCell{setting: setting, cell: cell})
 	}
-	return ablationResult("Ablation — wavelength division strategy (Ohm-BW, planar, "+workload+")", acs)
+	return ablationResult(o, "Ablation — wavelength division strategy (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // AblationNoC compares the constant-latency interconnect against the
@@ -240,7 +241,7 @@ func AblationNoC(o Options, workload string) (*AblationResult, error) {
 			cell:    ohmBWCell(o, workload, func(c *config.Config) { c.GPU.NoCDetailed = detailed }),
 		})
 	}
-	return ablationResult("Ablation — SM<->L2 interconnect model (Ohm-BW, planar, "+workload+")", acs)
+	return ablationResult(o, "Ablation — SM<->L2 interconnect model (Ohm-BW, planar, "+workload+")", acs)
 }
 
 // AblationPhases stresses migration with phase-changing hot sets: the
@@ -275,5 +276,5 @@ func AblationPhases(o Options, workload string) (*AblationResult, error) {
 			})
 		}
 	}
-	return ablationResult("Ablation — phase-changing hot sets (Ohm-BW vs Ohm-base, planar, "+workload+")", acs)
+	return ablationResult(o, "Ablation — phase-changing hot sets (Ohm-BW vs Ohm-base, planar, "+workload+")", acs)
 }

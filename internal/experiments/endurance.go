@@ -75,7 +75,7 @@ func Endurance(o Options, workload string) (*EnduranceResult, error) {
 		c.Salt, c.RunFn = "endurance-wear", runWear
 		cells = append(cells, c)
 	}
-	reps, err := runCells(cells)
+	reps, err := o.exec(cells)
 	if err != nil {
 		return nil, err
 	}

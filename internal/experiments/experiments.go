@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -27,6 +28,24 @@ type Options struct {
 	Workloads []string
 	// MaxInstructions per warp; 0 means the config default (20000).
 	MaxInstructions int
+	// Engine, when non-nil, routes the driver's cells to a caller-owned
+	// runner with cancellation and progress reporting; nil uses the
+	// package's shared runner. The ohmserve daemon sets it per job.
+	Engine *Engine
+}
+
+// Engine overrides where a driver's cells execute. The serving layer gives
+// every job its own cancellation context and progress feed while sharing
+// one process-wide runner — and therefore one result cache, concurrency
+// cap and single-flight table — across jobs.
+type Engine struct {
+	// Runner executes the cells; nil falls back to the shared runner.
+	Runner *batch.Runner
+	// Ctx cancels cell scheduling; nil means context.Background().
+	Ctx context.Context
+	// Progress observes per-cell completions of every batch the driver
+	// submits (figure drivers submit several sequential batches).
+	Progress batch.Progress
 }
 
 func (o Options) workloads() []string {
@@ -48,9 +67,22 @@ func (o Options) apply(cfg *config.Config) {
 // Figures 16-19 overlap heavily — simulate it once per process.
 var sharedRunner = batch.NewRunner(0, batch.NewMemCache())
 
-// runCells executes cells on the shared parallel runner.
-func runCells(cells []batch.Cell) ([]stats.Report, error) {
-	return sharedRunner.Run(cells)
+// exec executes cells on the options' engine, defaulting to the shared
+// parallel runner.
+func (o Options) exec(cells []batch.Cell) ([]stats.Report, error) {
+	eng := o.Engine
+	if eng == nil {
+		return sharedRunner.Run(cells)
+	}
+	runner := eng.Runner
+	if runner == nil {
+		runner = sharedRunner
+	}
+	ctx := eng.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runner.RunContext(ctx, cells, eng.Progress)
 }
 
 // cell builds one default-configured sweep cell.
@@ -153,7 +185,7 @@ func (g *Grid) Render() string {
 // reports[workload][platform].
 func (o Options) gatherReports(m config.MemMode, platforms []config.Platform) (map[string]map[config.Platform]stats.Report, error) {
 	cells := o.spec([]config.MemMode{m}, platforms).Cells()
-	reps, err := runCells(cells)
+	reps, err := o.exec(cells)
 	if err != nil {
 		return nil, err
 	}

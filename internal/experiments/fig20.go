@@ -36,7 +36,7 @@ func Fig20a(o Options) (*Fig20aResult, error) {
 	sweepCells := sweep.Cells()
 	cells = append(cells, sweepCells...)
 
-	reps, err := runCells(cells)
+	reps, err := o.exec(cells)
 	if err != nil {
 		return nil, err
 	}

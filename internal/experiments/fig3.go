@@ -92,7 +92,7 @@ func Fig3a(o Options) (*Fig3aResult, error) {
 			Config: fig3Config(o), Salt: "fig3a-ssd", RunFn: runSSD,
 		})
 	}
-	reps, err := runCells(cells)
+	reps, err := o.exec(cells)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +190,7 @@ func Fig3b(o Options) (*Fig3bResult, error) {
 		instant.Salt, instant.RunFn = "fig3b-instant-host", runInstant
 		cells = append(cells, real, instant)
 	}
-	reps, err := runCells(cells)
+	reps, err := o.exec(cells)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Params is the JSON-decodable argument set of a registered driver: the
+// wire form the ohmserve daemon accepts in POST /v1/sweeps and the shape
+// cmd/ohmfig's flags map onto. The zero value means the full paper
+// configuration.
+type Params struct {
+	// Workloads restricts the Table II workload set; empty means all ten.
+	Workloads []string `json:"workloads,omitempty"`
+	// MaxInstructions bounds the per-warp trace; 0 keeps the config default.
+	MaxInstructions int `json:"max_instructions,omitempty"`
+	// Workload selects the subject of single-workload drivers (ablations,
+	// endurance); empty falls back to the first of Workloads, then pagerank.
+	Workload string `json:"workload,omitempty"`
+	// Quick applies cmd/ohmfig's -quick preset — three representative
+	// workloads and a 4000-instruction budget — wherever the fields above
+	// don't already say otherwise.
+	Quick bool `json:"quick,omitempty"`
+}
+
+// Options resolves the parameters into driver options.
+func (p Params) Options() Options {
+	o := Options{Workloads: p.Workloads, MaxInstructions: p.MaxInstructions}
+	if p.Quick {
+		if len(o.Workloads) == 0 {
+			o.Workloads = []string{"lud", "bfsdata", "pagerank"}
+		}
+		if o.MaxInstructions == 0 {
+			o.MaxInstructions = 4000
+		}
+	}
+	return o
+}
+
+// AblWorkload resolves the single-workload drivers' subject. It consults
+// the resolved options so the Quick preset selects its first workload
+// (lud) — the same subject `ohmfig -quick abl-*` has always studied.
+func (p Params) AblWorkload() string {
+	if p.Workload != "" {
+		return p.Workload
+	}
+	if ws := p.Options().Workloads; len(ws) > 0 {
+		return ws[0]
+	}
+	return "pagerank"
+}
+
+// Result is any experiment's renderable outcome; every driver's typed
+// result satisfies it and is JSON-serializable.
+type Result interface{ Render() string }
+
+// Driver is one registered experiment — a paper figure, table, ablation or
+// projection — runnable by id with JSON-decodable parameters. cmd/ohmfig
+// and the ohmserve daemon both resolve ids through this registry, so the
+// two front-ends expose exactly the same experiment set.
+type Driver struct {
+	// ID is the experiment's stable identifier (e.g. "fig16", "abl-mshr").
+	ID string
+	// Title is a one-line human description.
+	Title string
+	// PerWorkload marks drivers that study a single workload selected by
+	// Params.Workload rather than sweeping the workload axis.
+	PerWorkload bool
+
+	run func(o Options, workload string) (Result, error)
+}
+
+// Run executes the driver. The workload argument is only consulted by
+// PerWorkload drivers.
+func (d Driver) Run(o Options, workload string) (Result, error) {
+	return d.run(o, workload)
+}
+
+// RunParams executes the driver from wire-form parameters.
+func (d Driver) RunParams(p Params) (Result, error) {
+	return d.run(p.Options(), p.AblWorkload())
+}
+
+var registry = map[string]Driver{}
+
+func register(id, title string, perWorkload bool, run func(Options, string) (Result, error)) {
+	registry[id] = Driver{ID: id, Title: title, PerWorkload: perWorkload, run: run}
+}
+
+// sweep adapts a figure driver (no workload argument) to the registry shape.
+func sweep[T Result](fn func(Options) (T, error)) func(Options, string) (Result, error) {
+	return func(o Options, _ string) (Result, error) {
+		r, err := fn(o)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+// study adapts a single-workload driver to the registry shape.
+func study[T Result](fn func(Options, string) (T, error)) func(Options, string) (Result, error) {
+	return func(o Options, w string) (Result, error) {
+		r, err := fn(o, w)
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	}
+}
+
+func init() {
+	register("fig3a", "Figure 3a — GPU-SSD integrated system execution breakdown", false, sweep(Fig3a))
+	register("fig3b", "Figure 3b — DMA degradation of the GPU memory subsystem", false, sweep(Fig3b))
+	register("fig8", "Figure 8 — baseline migration overhead (Ohm-base vs Oracle)", false, sweep(Fig8))
+	register("fig16", "Figure 16 — IPC of all platforms normalized to Ohm-base", false, sweep(Fig16))
+	register("fig17", "Figure 17 — memory latency normalized to Ohm-base", false, sweep(Fig17))
+	register("fig18", "Figure 18 — data-copy fraction of channel bandwidth", false, sweep(Fig18))
+	register("fig19", "Figure 19 — memory-system energy breakdown", false, sweep(Fig19))
+	register("fig20a", "Figure 20a — performance vs optical waveguide count", false, sweep(Fig20a))
+	register("fig20b", "Figure 20b — bit error rates vs the reliability requirement", false,
+		func(Options, string) (Result, error) { return Fig20b(), nil })
+	register("fig21", "Figure 21 — cost-performance ratio normalized to Origin", false, sweep(Fig21))
+	register("table2", "Table II — workload characteristics (target vs generated)", false,
+		func(o Options, _ string) (Result, error) { return Table2(o), nil })
+	register("table3", "Table III — cost estimation", false,
+		func(Options, string) (Result, error) { return Table3(), nil })
+	register("abl-threshold", "Ablation — planar hot-page migration threshold", true, study(AblationHotThreshold))
+	register("abl-pagesize", "Ablation — migration page size", true, study(AblationPageSize))
+	register("abl-startgap", "Ablation — Start-Gap wear levelling", true, study(AblationStartGap))
+	register("abl-mshr", "Ablation — L2 MSHR coalescing", true, study(AblationMSHR))
+	register("abl-division", "Ablation — wavelength division strategy", true, study(AblationChannelDivision))
+	register("abl-noc", "Ablation — SM<->L2 interconnect model", true, study(AblationNoC))
+	register("abl-phases", "Ablation — phase-changing hot sets", true, study(AblationPhases))
+	register("endurance", "XPoint endurance and lifetime projection", true, study(Endurance))
+}
+
+// Lookup resolves a driver by id (case-insensitive).
+func Lookup(id string) (Driver, bool) {
+	d, ok := registry[strings.ToLower(id)]
+	return d, ok
+}
+
+// Drivers lists every registered driver sorted by id.
+func Drivers() []Driver {
+	out := make([]Driver, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// IDs lists the registered ids sorted, for error messages and listings.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// EncodeResultJSON writes the {"id", "result"} document cmd/ohmfig -json
+// emits. The ohmserve daemon serves the same bytes for experiment jobs, so
+// a served response is interchangeable with a locally generated file.
+func EncodeResultJSON(w io.Writer, id string, r Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(map[string]interface{}{"id": id, "result": r}); err != nil {
+		return fmt.Errorf("experiments: encode %s: %w", id, err)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/batch"
+	"repro/internal/experiments"
+)
+
+// NewHandler returns the daemon's HTTP API:
+//
+//	POST   /v1/sweeps           submit a job (sweep spec or experiment id)
+//	GET    /v1/jobs             list all jobs
+//	GET    /v1/jobs/{id}        job status with per-cell progress
+//	GET    /v1/jobs/{id}/result finished results (JSON, or CSV for sweeps)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/experiments      list the registered experiment drivers
+//	GET    /healthz             liveness plus shared-cache counters
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		statuses := make([]Status, len(jobs))
+		for i, j := range jobs {
+			statuses[i] = j.Status()
+		}
+		writeJSON(w, http.StatusOK, statuses)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		// Hold the job before cancelling: pruneFinished may evict the id
+		// from the table concurrently, but the pointer stays valid.
+		job, ok := m.Get(id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job %q", id)
+			return
+		}
+		m.Cancel(id)
+		writeJSON(w, http.StatusOK, job.Status())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		handleResult(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		type entry struct {
+			ID          string `json:"id"`
+			Title       string `json:"title"`
+			PerWorkload bool   `json:"per_workload"`
+		}
+		var out []entry
+		for _, d := range experiments.Drivers() {
+			out = append(out, entry{ID: d.ID, Title: d.Title, PerWorkload: d.PerWorkload})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := m.Runner().Stats()
+		writeJSON(w, http.StatusOK, map[string]interface{}{
+			"status": "ok",
+			"cache": map[string]uint64{
+				"hits":       st.Hits,
+				"misses":     st.Misses,
+				"shared":     st.Shared,
+				"put_errors": st.PutErrors,
+			},
+		})
+	})
+	return mux
+}
+
+func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	job, err := m.Submit(req)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/jobs/"+job.ID())
+		writeJSON(w, http.StatusAccepted, job.Status())
+	case err == ErrQueueFull, err == ErrDraining:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
+	job, ok := m.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	st := job.Status()
+	switch st.State {
+	case StateDone:
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, "job failed: %s", st.Error)
+		return
+	case StateCancelled:
+		writeError(w, http.StatusGone, "job was cancelled")
+		return
+	default:
+		// Not finished: answer with the status so pollers can reuse the
+		// response, under a conflict code so scripts notice.
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+
+	format := r.URL.Query().Get("format")
+	if format == "" && strings.Contains(r.Header.Get("Accept"), "text/csv") {
+		format = "csv"
+	}
+	if format == "" {
+		format = "json"
+	}
+
+	// Terminal jobs are immutable, so the result fields need no lock.
+	switch {
+	case st.Kind == "sweep" && format == "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		if err := batch.WriteCSV(w, job.cells, job.reports); err != nil {
+			writeError(w, http.StatusInternalServerError, "encode csv: %v", err)
+		}
+	case st.Kind == "sweep" && format == "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := batch.WriteJSON(w, job.cells, job.reports); err != nil {
+			writeError(w, http.StatusInternalServerError, "encode json: %v", err)
+		}
+	case st.Kind == "experiment" && format == "json":
+		// The exact bytes `ohmfig -json <id>` prints, so served figures are
+		// interchangeable with locally generated ones.
+		w.Header().Set("Content-Type", "application/json")
+		if err := experiments.EncodeResultJSON(w, job.req.Experiment, job.result); err != nil {
+			writeError(w, http.StatusInternalServerError, "encode result: %v", err)
+		}
+	default:
+		writeError(w, http.StatusNotAcceptable, "format %q not available for %s jobs", format, st.Kind)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,456 @@
+// Package serve turns the batch sweep engine into a long-running,
+// multi-tenant simulation service: submitted jobs enter a bounded FIFO
+// queue, a fixed worker pool executes them on one process-wide
+// batch.Runner — whose result cache, concurrency cap and single-flight
+// table are shared across jobs, so two jobs requesting the same cell
+// simulate it once and a warm request answers entirely from cache — and
+// every job can be cancelled individually or drained together on
+// shutdown. cmd/ohmserve exposes the manager over HTTP.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Request is the submission body of POST /v1/sweeps: either a raw sweep
+// spec or a registered experiment id plus parameters — exactly one.
+type Request struct {
+	// Experiment names a driver from the internal/experiments registry.
+	Experiment string `json:"experiment,omitempty"`
+	// Params parameterizes the experiment driver.
+	Params experiments.Params `json:"params,omitempty"`
+	// Spec is a raw sweep over the evaluation grid (cmd/ohmbatch's shape).
+	Spec *batch.SweepSpec `json:"spec,omitempty"`
+}
+
+// Kind returns "experiment" or "sweep".
+func (r Request) Kind() string {
+	if r.Spec != nil {
+		return "sweep"
+	}
+	return "experiment"
+}
+
+// Validate checks that the request names exactly one runnable thing.
+func (r Request) Validate() error {
+	if (r.Experiment != "") == (r.Spec != nil) {
+		return errors.New("serve: request must carry exactly one of \"experiment\" or \"spec\"")
+	}
+	if r.Experiment != "" {
+		if _, ok := experiments.Lookup(r.Experiment); !ok {
+			return fmt.Errorf("serve: unknown experiment %q", r.Experiment)
+		}
+	}
+	return nil
+}
+
+// Status is a job's externally visible state, served by GET /v1/jobs/{id}.
+// Cell counters give per-cell progress: CellsDone out of CellsTotal, split
+// into CacheHits (served from the result cache or a shared in-flight
+// simulation) and Simulated (fresh runs). For experiment jobs CellsTotal
+// grows as the driver submits successive batches; for sweep jobs it is
+// fixed up front.
+type Status struct {
+	ID         string     `json:"id"`
+	Kind       string     `json:"kind"`
+	Experiment string     `json:"experiment,omitempty"`
+	State      State      `json:"state"`
+	CellsTotal int        `json:"cells_total"`
+	CellsDone  int        `json:"cells_done"`
+	CacheHits  int        `json:"cache_hits"`
+	Simulated  int        `json:"simulated"`
+	Error      string     `json:"error,omitempty"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+}
+
+// Job is one submitted unit of work and its (eventual) result.
+type Job struct {
+	id  string
+	req Request
+
+	mu         sync.Mutex
+	state      State
+	cancel     context.CancelFunc // set while running
+	cellsTotal int
+	cellsDone  int
+	cacheHits  int
+	simulated  int
+	batchBase  int // cells completed in finished batches (experiment jobs)
+	errMsg     string
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+
+	// Results: sweep jobs keep cells+reports (for JSON and CSV rendering);
+	// experiment jobs keep the driver's typed result.
+	cells   []batch.Cell
+	reports []stats.Report
+	result  experiments.Result
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := Status{
+		ID:         j.id,
+		Kind:       j.req.Kind(),
+		Experiment: j.req.Experiment,
+		State:      j.state,
+		CellsTotal: j.cellsTotal,
+		CellsDone:  j.cellsDone,
+		CacheHits:  j.cacheHits,
+		Simulated:  j.simulated,
+		Error:      j.errMsg,
+		Created:    j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+var (
+	// ErrQueueFull rejects a submission when the FIFO queue is at capacity.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining rejects submissions after shutdown began.
+	ErrDraining = errors.New("serve: server is draining")
+)
+
+// Manager owns the job queue and worker pool.
+type Manager struct {
+	runner *batch.Runner
+
+	// Retain bounds how many finished (done/failed/cancelled) jobs — and
+	// their result payloads — stay queryable; the oldest are evicted
+	// beyond it. <=0 means the default. Queued and running jobs are never
+	// evicted. Set before the first Submit.
+	Retain int
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled on queue activity and shutdown
+	depth   int        // max pending jobs
+	pending []*Job     // FIFO of queued jobs; cancellation splices out
+	jobs    map[string]*Job
+	order   []string
+	seq     int
+	closed  bool
+}
+
+// defaultRetain bounds finished-job history when Manager.Retain is unset:
+// a long-running daemon must not grow memory with every job ever served.
+const defaultRetain = 512
+
+// NewManager starts workers goroutines executing jobs from a FIFO queue of
+// depth queueDepth, all on the given shared runner. workers bounds how many
+// jobs run concurrently; the runner's own worker cap bounds how many cells
+// simulate concurrently across them.
+func NewManager(runner *batch.Runner, workers, queueDepth int) *Manager {
+	if workers <= 0 {
+		workers = 1
+	}
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		runner:  runner,
+		baseCtx: ctx,
+		stop:    stop,
+		depth:   queueDepth,
+		jobs:    make(map[string]*Job),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	m.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Runner returns the shared engine (for surfacing cache stats).
+func (m *Manager) Runner() *batch.Runner { return m.runner }
+
+// Submit validates and enqueues a job.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	if req.Experiment != "" {
+		// Canonicalize the id (Lookup is case-insensitive) so the job's
+		// status and result document carry the registry spelling — the
+		// result must stay byte-identical to `ohmfig -json <id>`.
+		d, _ := experiments.Lookup(req.Experiment)
+		req.Experiment = d.ID
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrDraining
+	}
+	// Only live queued jobs count against the bound: cancelling a queued
+	// job frees its slot immediately.
+	if len(m.pending) >= m.depth {
+		return nil, ErrQueueFull
+	}
+	m.seq++
+	job := &Job{
+		id:      fmt.Sprintf("job-%06d", m.seq),
+		req:     req,
+		state:   StateQueued,
+		created: time.Now().UTC(),
+	}
+	m.pending = append(m.pending, job)
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.cond.Signal()
+	return job, nil
+}
+
+// Get returns a job by id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs lists every known job in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel stops a job: a queued job is cancelled immediately and its queue
+// slot freed, a running job has its context cancelled — in-flight cells
+// drain, unstarted cells never run. Cancelling a terminal job is a no-op.
+// It reports whether the job exists.
+func (m *Manager) Cancel(id string) bool {
+	// Lock order everywhere is m.mu before job.mu (pruneFinished relies on
+	// the same order).
+	m.mu.Lock()
+	job, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return false
+	}
+	job.mu.Lock()
+	var cancel context.CancelFunc
+	switch job.state {
+	case StateQueued:
+		job.state = StateCancelled
+		job.finished = time.Now().UTC()
+		for i, p := range m.pending {
+			if p == job {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				break
+			}
+		}
+	case StateRunning:
+		cancel = job.cancel
+	}
+	job.mu.Unlock()
+	m.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// worker executes queued jobs until shutdown empties the queue.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		job := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.run(job)
+	}
+}
+
+// run executes one job to a terminal state.
+func (m *Manager) run(job *Job) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+
+	job.mu.Lock()
+	if job.state != StateQueued { // cancelled while waiting in the queue
+		job.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now().UTC()
+	job.cancel = cancel
+	job.mu.Unlock()
+
+	// progress folds every batch the job submits into cumulative per-cell
+	// counters. Drivers submit batches sequentially, so tracking one open
+	// batch (batchBase + the current batch's done/total) is exact.
+	progress := func(done, total int, hit bool) {
+		job.mu.Lock()
+		job.cellsDone = job.batchBase + done
+		job.cellsTotal = job.batchBase + total
+		if hit {
+			job.cacheHits++
+		} else {
+			job.simulated++
+		}
+		if done == total {
+			job.batchBase += total
+		}
+		job.mu.Unlock()
+	}
+
+	var err error
+	if job.req.Spec != nil {
+		cells := job.req.Spec.Cells()
+		job.mu.Lock()
+		job.cellsTotal = len(cells)
+		job.mu.Unlock()
+		var reports []stats.Report
+		reports, err = m.runner.RunContext(ctx, cells, progress)
+		if err == nil {
+			job.mu.Lock()
+			job.cells, job.reports = cells, reports
+			job.mu.Unlock()
+		}
+	} else {
+		d, _ := experiments.Lookup(job.req.Experiment) // validated at submit
+		o := job.req.Params.Options()
+		o.Engine = &experiments.Engine{Runner: m.runner, Ctx: ctx, Progress: progress}
+		var res experiments.Result
+		res, err = d.Run(o, job.req.Params.AblWorkload())
+		if err == nil {
+			job.mu.Lock()
+			job.result = res
+			job.mu.Unlock()
+		}
+	}
+
+	job.mu.Lock()
+	job.finished = time.Now().UTC()
+	job.cancel = nil
+	switch {
+	case err == nil:
+		job.state = StateDone
+	case errors.Is(err, context.Canceled):
+		job.state = StateCancelled
+	default:
+		job.state = StateFailed
+		job.errMsg = err.Error()
+	}
+	job.mu.Unlock()
+	m.pruneFinished()
+}
+
+// pruneFinished evicts the oldest terminal jobs beyond the retention
+// bound so a long-lived daemon's job table (and the result payloads it
+// pins) stays bounded. Evicted ids answer 404 afterwards.
+func (m *Manager) pruneFinished() {
+	retain := m.Retain
+	if retain <= 0 {
+		retain = defaultRetain
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	finished := 0
+	for _, id := range m.order {
+		if st := m.jobs[id].Status().State; st.Terminal() {
+			finished++
+		}
+	}
+	for i := 0; finished > retain && i < len(m.order); {
+		id := m.order[i]
+		if st := m.jobs[id].Status().State; !st.Terminal() {
+			i++
+			continue
+		}
+		delete(m.jobs, id)
+		m.order = append(m.order[:i], m.order[i+1:]...)
+		finished--
+	}
+}
+
+// Shutdown drains the manager: intake stops (Submit returns ErrDraining),
+// queued and running jobs are given until ctx expires to finish, then
+// everything still running is cancelled and awaited. Safe to call once.
+func (m *Manager) Shutdown(ctx context.Context) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: cancel every remaining job (including queued ones the
+		// workers will now skip) and wait for in-flight cells to drain.
+		m.stop()
+		for _, job := range m.Jobs() {
+			m.Cancel(job.ID())
+		}
+		<-done
+	}
+	m.stop()
+}

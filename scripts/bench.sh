@@ -20,7 +20,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_2.json}"
 TMP="$(mktemp)"
-trap 'rm -f "$TMP"' EXIT
+trap 'rm -f "$TMP" "$OUT.tmp"' EXIT
 
 echo "bench: kernel steady state" >&2
 go test -run='^$' -bench='BenchmarkKernelSchedule' -benchmem -benchtime=300000x . | tee -a "$TMP" >&2
@@ -34,8 +34,13 @@ go test -run='^$' -bench='.' -benchmem -benchtime=10000x \
 echo "bench: trace generation and registry" >&2
 go test -run='^$' -bench='.' -benchmem -benchtime=20x ./internal/trace | tee -a "$TMP" >&2
 
+# Parse the accumulated `go test -bench` output into JSON. Any Benchmark
+# line the parser cannot extract ns/op (or iterations) from aborts the
+# whole script with a non-zero exit — a partial or empty snapshot must
+# never be written, because benchcheck and the committed perf trajectory
+# both treat these files as complete.
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
-BEGIN { n = 0 }
+BEGIN { n = 0; bad = 0 }
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
   iters = $2; ns = ""; bytes = ""; allocs = ""
@@ -44,9 +49,18 @@ BEGIN { n = 0 }
     if ($(i+1) == "B/op") bytes = $i
     if ($(i+1) == "allocs/op") allocs = $i
   }
+  if (ns == "" || iters !~ /^[0-9]+$/) {
+    printf "bench.sh: cannot parse benchmark line: %s\n", $0 > "/dev/stderr"
+    bad = 1; exit 1
+  }
   names[n] = name; its[n] = iters; nss[n] = ns; bs[n] = bytes; as[n] = allocs; n++
 }
 END {
+  if (bad) exit 1
+  if (n == 0) {
+    print "bench.sh: no benchmark lines found in the test output" > "/dev/stderr"
+    exit 1
+  }
   printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, gover
   for (i = 0; i < n; i++) {
     printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
@@ -55,6 +69,12 @@ END {
     printf "}%s\n", (i < n-1 ? "," : "")
   }
   printf "  ]\n}\n"
-}' "$TMP" > "$OUT"
+}' "$TMP" > "$OUT.tmp"
+
+# The snapshot must decode (-benches '' makes benchcheck a pure decode
+# check, so recording a baseline with intentionally changed benchmarks
+# still works), and only lands under its real name once complete.
+go run ./scripts/benchcheck -baseline "$OUT.tmp" -current "$OUT.tmp" -benches '' >/dev/null
+mv "$OUT.tmp" "$OUT"
 
 echo "bench: wrote $OUT" >&2

@@ -1,0 +1,130 @@
+// Command benchcheck compares a freshly generated scripts/bench.sh
+// snapshot against the committed baseline and fails (exit 1) when a
+// guarded hot path regresses:
+//
+//   - a guarded benchmark is missing from either file,
+//   - a guarded benchmark reports allocs_per_op > 0 (the allocation-free
+//     kernel guarantees of PR 2), or
+//   - ns/op exceeds -max-ratio times the baseline (a gross slowdown;
+//     the default 2x tolerates CI-runner noise on nanosecond-scale
+//     benchmarks while catching algorithmic regressions).
+//
+// Usage:
+//
+//	go run ./scripts/benchcheck -baseline BENCH_2.json -current /tmp/BENCH_CI.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// snapshot mirrors the JSON scripts/bench.sh emits.
+type snapshot struct {
+	Date       string  `json:"date"`
+	Go         string  `json:"go"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Name        string   `json:"name"`
+	Iters       int64    `json:"iters"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BPerOp      *float64 `json:"b_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+}
+
+func load(path string) (map[string]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks recorded", path)
+	}
+	m := make(map[string]entry, len(s.Benchmarks))
+	for _, b := range s.Benchmarks {
+		m[b.Name] = b
+	}
+	return m, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_2.json", "committed baseline snapshot")
+	current := flag.String("current", "", "freshly generated snapshot to check")
+	benches := flag.String("benches",
+		"BenchmarkKernelScheduleID,BenchmarkAccess,BenchmarkAddEnergyHandle",
+		"comma-separated guarded benchmark names")
+	maxRatio := flag.Float64("max-ratio", 2.0, "fail when ns/op exceeds baseline by this factor")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fatal("load baseline: %v", err)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fatal("load current: %v", err)
+	}
+
+	failed := false
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			// -benches '' validates only that both snapshots decode and are
+			// non-empty (bench.sh's post-generation sanity check).
+			continue
+		}
+		b, okB := base[name]
+		c, okC := cur[name]
+		switch {
+		case !okB:
+			fail(&failed, "%s: missing from baseline %s", name, *baseline)
+			continue
+		case !okC:
+			fail(&failed, "%s: missing from current %s (did the benchmark get renamed or dropped?)", name, *current)
+			continue
+		}
+		ok := true
+		if c.AllocsPerOp == nil {
+			ok = false
+			fail(&failed, "%s: current run has no allocs_per_op (run with -benchmem)", name)
+		} else if *c.AllocsPerOp > 0 {
+			ok = false
+			fail(&failed, "%s: %g allocs/op, guarded paths must stay allocation-free", name, *c.AllocsPerOp)
+		}
+		if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(*maxRatio) {
+			ok = false
+			fail(&failed, "%s: %.4g ns/op vs baseline %.4g ns/op (> %.1fx)",
+				name, c.NsPerOp, b.NsPerOp, *maxRatio)
+		}
+		if ok {
+			fmt.Printf("benchcheck: %-28s %.4g ns/op (baseline %.4g, ratio %.2f) ok\n",
+				name, c.NsPerOp, b.NsPerOp, c.NsPerOp/b.NsPerOp)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fail(failed *bool, format string, args ...interface{}) {
+	*failed = true
+	fmt.Fprintf(os.Stderr, "benchcheck: FAIL: "+format+"\n", args...)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchcheck: "+format+"\n", args...)
+	os.Exit(2)
+}
