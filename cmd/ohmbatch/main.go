@@ -7,8 +7,16 @@
 //	ohmbatch                                        # full 7x2x10 paper grid
 //	ohmbatch -platforms ohm-base,ohm-bw -modes planar -workloads lud,sssp
 //	ohmbatch -waveguides 1,2,4,8 -instr 5000 -format csv -o sweep.csv
-//	ohmbatch -spec sweep.json                       # spec from a JSON file
+//	ohmbatch -set xpoint.write_latency_ns=1200 -set optical.waveguides=1,2,4
+//	ohmbatch -spec sweep.json                       # SweepSpec or scenario file
+//	ohmbatch -spec scenario.json -validate          # dry-run expand, no simulation
 //	ohmbatch -print-spec -waveguides 1,2 > sweep.json
+//	ohmbatch -paths                                 # list overridable config paths
+//
+// -spec accepts either a SweepSpec grid or a config.Spec scenario document
+// ({preset, mode, overrides, workload}) — the same files ohmsim -spec and
+// the ohmserve daemon accept. -set adds override axes from the command
+// line: a comma-separated value list sweeps that path.
 //
 // Results are cached under -cache (default .ohmbatch-cache) keyed by a
 // hash of the fully-resolved configuration and workload, so re-running a
@@ -30,22 +38,39 @@ import (
 	"repro/internal/prof"
 )
 
+// multiFlag collects repeatable -set flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ", ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
-	specPath := flag.String("spec", "", "JSON SweepSpec file (flags below override its axes)")
+	specPath := flag.String("spec", "", "JSON spec file: a SweepSpec grid or a {preset,mode,overrides,workload} scenario (flags below override its axes)")
 	platforms := flag.String("platforms", "", "comma-separated platforms (empty = all seven)")
 	modes := flag.String("modes", "", "comma-separated memory modes (empty = both)")
 	workloads := flag.String("workloads", "", "comma-separated Table II workloads (empty = all ten)")
-	waveguides := flag.String("waveguides", "", "comma-separated optical waveguide counts to sweep")
+	waveguides := flag.String("waveguides", "", "comma-separated optical waveguide counts to sweep (alias for -set optical.waveguides=...)")
+	var sets multiFlag
+	flag.Var(&sets, "set", "override axis path=value[,value...] (repeatable; see -paths)")
 	instr := flag.Int("instr", 0, "instructions per warp (0 = config default)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", ".ohmbatch-cache", "result cache directory (empty disables caching)")
 	format := flag.String("format", "json", "output format: json|csv")
 	out := flag.String("o", "", "output file (empty = stdout)")
 	printSpec := flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
+	validate := flag.Bool("validate", false, "validate and dry-run-expand the spec, print the cell summary, run nothing")
+	paths := flag.Bool("paths", false, "list the overridable config paths with their types, then exit")
 	quiet := flag.Bool("q", false, "suppress the run summary on stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	if *paths {
+		for _, p := range config.OverridePaths() {
+			fmt.Printf("%-36s %s\n", p.Path, p.Type)
+		}
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -54,7 +79,7 @@ func main() {
 	stopProfiles = stopProf
 	defer stopProf()
 
-	spec, err := buildSpec(*specPath, *platforms, *modes, *workloads, *waveguides, *instr)
+	spec, err := buildSpec(*specPath, *platforms, *modes, *workloads, *waveguides, sets, *instr)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -62,6 +87,17 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(spec); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+
+	cells, err := spec.Cells()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *validate {
+		if err := dryRun(cells); err != nil {
 			fatalf("%v", err)
 		}
 		return
@@ -77,7 +113,6 @@ func main() {
 	}
 	runner := batch.NewRunner(*workers, cache)
 
-	cells := spec.Cells()
 	start := time.Now()
 	reports, err := runner.Run(cells)
 	if err != nil {
@@ -117,8 +152,41 @@ func main() {
 	}
 }
 
+// dryRun is -validate: every cell's config must validate and hash; the
+// summary names the expanded axes so CI logs show what a spec covers.
+func dryRun(cells []batch.Cell) error {
+	seen := make(map[string]struct{}, len(cells))
+	custom := 0
+	for _, c := range cells {
+		if err := c.Config.Validate(); err != nil {
+			return fmt.Errorf("cell %d (%s): %w", c.Index, c, err)
+		}
+		key, err := c.Key()
+		if err != nil {
+			return fmt.Errorf("cell %d (%s): %w", c.Index, c, err)
+		}
+		seen[key] = struct{}{}
+		if c.WorkloadDef != nil {
+			custom++
+		}
+	}
+	fmt.Printf("spec OK: %d cells (%d distinct keys", len(cells), len(seen))
+	if custom > 0 {
+		fmt.Printf(", %d custom-workload cells", custom)
+	}
+	fmt.Println(")")
+	for i, c := range cells {
+		if i == 8 {
+			fmt.Printf("  ... %d more\n", len(cells)-i)
+			break
+		}
+		fmt.Printf("  %s\n", c)
+	}
+	return nil
+}
+
 // buildSpec loads the spec file (if any) and applies flag overrides.
-func buildSpec(path, platforms, modes, workloads, waveguides string, instr int) (batch.SweepSpec, error) {
+func buildSpec(path, platforms, modes, workloads, waveguides string, sets []string, instr int) (batch.SweepSpec, error) {
 	var spec batch.SweepSpec
 	if path != "" {
 		s, err := batch.LoadSpec(path)
@@ -162,6 +230,20 @@ func buildSpec(path, platforms, modes, workloads, waveguides string, instr int) 
 			}
 			spec.Waveguides = append(spec.Waveguides, n)
 		}
+	}
+	for _, kv := range sets {
+		path, vals, ok := strings.Cut(kv, "=")
+		if !ok || strings.TrimSpace(path) == "" || vals == "" {
+			return spec, fmt.Errorf("bad -set %q, want path=value[,value...]", kv)
+		}
+		var axis batch.Axis
+		for _, v := range strings.Split(vals, ",") {
+			axis = append(axis, strings.TrimSpace(v))
+		}
+		if spec.Overrides == nil {
+			spec.Overrides = batch.Overrides{}
+		}
+		spec.Overrides[strings.TrimSpace(path)] = axis
 	}
 	if instr > 0 {
 		spec.MaxInstructions = instr

@@ -1,13 +1,23 @@
-// Command ohmsim runs one Ohm-GPU platform on one Table II workload and
-// prints the full measurement report: IPC, memory latency, channel
-// bandwidth split, migrations, cache behaviour and the energy breakdown.
+// Command ohmsim runs one Ohm-GPU scenario — a platform preset on one
+// workload, optionally patched by dotted-path overrides — and prints the
+// full measurement report: IPC, memory latency, channel bandwidth split,
+// migrations, cache behaviour and the energy breakdown.
 //
 // Usage:
 //
 //	ohmsim -platform ohm-bw -mode planar -workload pagerank
 //	ohmsim -platform oracle -mode two-level -workload lud -instr 40000
+//	ohmsim -set xpoint.write_latency_ns=1200 -set gpu.mshr_entries=16
+//	ohmsim -spec scenario.json                 # {preset, mode, overrides, workload}
+//	ohmsim -spec scenario.json -set seed=7     # flags layer over the file
 //	ohmsim -json -platform ohm-wom -workload sssp
 //	ohmsim -list
+//
+// The -spec file is a config.Spec scenario document; its workload may be a
+// Table II name or an inline custom definition, so a new platform variant
+// or workload is a JSON file, not a Go change. The same file runs under
+// `ohmbatch -spec` and `POST /v1/sweeps {"scenario": ...}` with identical
+// results and cache keys.
 package main
 
 import (
@@ -23,12 +33,21 @@ import (
 	"repro/internal/stats"
 )
 
+// multiFlag collects repeatable -set flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ", ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
 func main() {
-	platform := flag.String("platform", "ohm-bw", "platform: origin|hetero|ohm-base|auto-rw|ohm-wom|ohm-bw|oracle")
+	specPath := flag.String("spec", "", "scenario spec JSON file ({preset, mode, overrides, workload})")
+	platform := flag.String("platform", config.DefaultPreset, "platform preset: "+strings.Join(config.PresetNames(), "|"))
 	mode := flag.String("mode", "planar", "memory mode: planar|two-level")
-	workload := flag.String("workload", "pagerank", "Table II workload name")
+	workload := flag.String("workload", config.DefaultWorkload, "Table II workload name")
 	instr := flag.Int("instr", 0, "instructions per warp (0 = default 20000)")
 	waveguides := flag.Int("waveguides", 0, "optical waveguides (0 = default 1)")
+	var sets multiFlag
+	flag.Var(&sets, "set", "override one config field: -set path=value (repeatable; see docs/reference/spec.md)")
 	asJSON := flag.Bool("json", false, "emit the full report as JSON instead of the text block")
 	list := flag.Bool("list", false, "list platforms, modes and workloads, then exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -43,43 +62,32 @@ func main() {
 	defer stopProf()
 
 	if *list {
-		fmt.Println("platforms: origin hetero ohm-base auto-rw ohm-wom ohm-bw oracle")
+		fmt.Printf("platforms: %s\n", strings.Join(config.PresetNames(), " "))
 		fmt.Println("modes:     planar two-level")
 		fmt.Printf("workloads: %s\n", strings.Join(config.WorkloadNames(), " "))
 		return
 	}
 
-	p, err := config.ParsePlatform(*platform)
-	if err != nil {
-		fatalf("unknown platform %q (try -list)", *platform)
-	}
-	m, err := config.ParseMode(*mode)
-	if err != nil {
-		fatalf("unknown mode %q (planar|two-level)", *mode)
-	}
-
-	cfg := config.Default(p, m)
-	if *instr > 0 {
-		cfg.MaxInstructions = *instr
-	}
-	if *waveguides > 0 {
-		cfg.Optical.Waveguides = *waveguides
-	}
-
-	sys, err := core.NewSystem(cfg)
+	spec, err := buildSpec(*specPath, *platform, *mode, *workload, *instr, *waveguides, sets)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	rep, err := sys.RunWorkload(*workload)
+	sc, err := spec.Resolve()
 	if err != nil {
 		fatalf("%v (try -list)", err)
 	}
 
+	sys, err := core.NewSystem(sc.Config)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	rep := sys.RunWorkloadDef(sc.Workload)
+
 	if *asJSON {
 		doc := jsonReport{
-			Platform: p.String(),
-			Mode:     m.String(),
-			Workload: *workload,
+			Platform: sc.Config.Platform.String(),
+			Mode:     sc.Config.Mode.String(),
+			Workload: sc.Workload.Name,
 			Report:   rep,
 			Devices: deviceCounters{
 				MCReads:        sys.Col.Reads,
@@ -92,6 +100,10 @@ func main() {
 				DualRouteBytes: sys.Col.DualRouteBytes,
 			},
 		}
+		if sc.Custom {
+			w := sc.Workload
+			doc.WorkloadDef = &w
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
@@ -100,9 +112,9 @@ func main() {
 		return
 	}
 
-	fmt.Printf("platform       %s\n", p)
-	fmt.Printf("mode           %s\n", m)
-	fmt.Printf("workload       %s\n", *workload)
+	fmt.Printf("platform       %s\n", sc.Config.Platform)
+	fmt.Printf("mode           %s\n", sc.Config.Mode)
+	fmt.Printf("workload       %s\n", sc.Workload.Name)
 	fmt.Printf("elapsed        %s\n", rep.Elapsed)
 	fmt.Printf("IPC            %.3f\n", rep.IPC)
 	fmt.Printf("mem latency    %s (p99 %s)\n", rep.MeanLatency, rep.P99Latency)
@@ -125,15 +137,60 @@ func main() {
 	fmt.Printf("  %-14s %14.0f\n", "total", total)
 }
 
+// buildSpec assembles the scenario: the -spec file first, then explicit
+// flags layered on top (an unset flag never clobbers the file).
+func buildSpec(path, platform, mode, workload string, instr, waveguides int, sets []string) (config.Spec, error) {
+	var spec config.Spec
+	if path != "" {
+		s, err := config.LoadSpec(path)
+		if err != nil {
+			return spec, err
+		}
+		spec = s
+	}
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	if explicit["platform"] || spec.Preset == "" {
+		spec.Preset = platform
+	}
+	if explicit["mode"] || spec.Mode == "" {
+		spec.Mode = mode
+	}
+	if explicit["workload"] || spec.Workload == nil {
+		spec.Workload = &config.WorkloadSpec{Name: workload}
+	}
+	override := func(p string, v interface{}) {
+		if spec.Overrides == nil {
+			spec.Overrides = map[string]interface{}{}
+		}
+		spec.Overrides[p] = v
+	}
+	if instr > 0 {
+		override("max_instructions", instr)
+	}
+	if waveguides > 0 {
+		override("optical.waveguides", waveguides)
+	}
+	for _, kv := range sets {
+		p, v, ok := strings.Cut(kv, "=")
+		if !ok || strings.TrimSpace(p) == "" {
+			return spec, fmt.Errorf("bad -set %q, want path=value", kv)
+		}
+		override(strings.TrimSpace(p), strings.TrimSpace(v))
+	}
+	return spec, nil
+}
+
 // jsonReport is the machine-readable form of one run: the cell identity,
 // the full stats.Report, and the device-level counters the text block
 // prints from simulator internals.
 type jsonReport struct {
-	Platform string         `json:"platform"`
-	Mode     string         `json:"mode"`
-	Workload string         `json:"workload"`
-	Report   stats.Report   `json:"report"`
-	Devices  deviceCounters `json:"devices"`
+	Platform    string           `json:"platform"`
+	Mode        string           `json:"mode"`
+	Workload    string           `json:"workload"`
+	WorkloadDef *config.Workload `json:"workload_def,omitempty"`
+	Report      stats.Report     `json:"report"`
+	Devices     deviceCounters   `json:"devices"`
 }
 
 type deviceCounters struct {

@@ -19,6 +19,16 @@ import (
 	"repro/internal/stats"
 )
 
+// mustCells expands a spec, failing the test on spec errors.
+func mustCells(t *testing.T, spec SweepSpec) []Cell {
+	t.Helper()
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cells
+}
+
 // fakeRun is a deterministic, instant RunFunc for engine-mechanics tests.
 func fakeRun(cfg config.Config, workload string) (stats.Report, error) {
 	return stats.Report{
@@ -38,12 +48,12 @@ func TestSpecCellsDeterministicOrder(t *testing.T) {
 		Waveguides:      []int{1, 4},
 		MaxInstructions: 500,
 	}
-	cells := spec.Cells()
+	cells := mustCells(t, spec)
 	if len(cells) != 2*2*2*2 {
 		t.Fatalf("cells = %d, want 16", len(cells))
 	}
 	// Modes outermost, then waveguides, platforms, workloads.
-	want0 := "Ohm-base/planar/lud"
+	want0 := "Ohm-base/planar/lud@optical.waveguides=1"
 	if cells[0].String() != want0 {
 		t.Fatalf("cells[0] = %s, want %s", cells[0], want0)
 	}
@@ -65,14 +75,14 @@ func TestSpecCellsDeterministicOrder(t *testing.T) {
 		}
 	}
 	// Expansion is itself deterministic.
-	again := spec.Cells()
+	again := mustCells(t, spec)
 	if !reflect.DeepEqual(cells, again) {
 		t.Fatal("two expansions of one spec differ")
 	}
 }
 
 func TestSpecDefaultsToFullPaperGrid(t *testing.T) {
-	cells := SweepSpec{}.Cells()
+	cells := mustCells(t, SweepSpec{})
 	if len(cells) != 7*2*10 {
 		t.Fatalf("default grid = %d cells, want 140", len(cells))
 	}
@@ -164,7 +174,7 @@ func TestParallelMatchesSerialByteIdentical(t *testing.T) {
 		Workloads:  []string{"lud", "sssp", "pagerank"},
 		Waveguides: []int{1, 2},
 	}
-	cells := spec.Cells()
+	cells := mustCells(t, spec)
 	serial := runAll(t, 1, nil, fakeRun, cells)
 	parallel := runAll(t, 8, nil, fakeRun, cells)
 	if string(serial) != string(parallel) {
@@ -192,7 +202,7 @@ func TestParallelMatchesSerialRealSim(t *testing.T) {
 		Workloads:       []string{"lud", "bfstopo"},
 		MaxInstructions: 400,
 	}
-	cells := spec.Cells()
+	cells := mustCells(t, spec)
 	serial := runAll(t, 1, nil, nil, cells) // nil RunFn = core.RunConfig
 	parallel := runAll(t, 4, nil, nil, cells)
 	if string(serial) != string(parallel) {
@@ -224,7 +234,7 @@ func TestWarmCacheSkipsSimulation(t *testing.T) {
 	}
 
 	cold := &Runner{Workers: 4, Cache: cache, RunFn: counting}
-	if _, err := cold.Run(spec.Cells()); err != nil {
+	if _, err := cold.Run(mustCells(t, spec)); err != nil {
 		t.Fatal(err)
 	}
 	if got := calls.Load(); got != 4 {
@@ -235,7 +245,7 @@ func TestWarmCacheSkipsSimulation(t *testing.T) {
 	}
 
 	warm := &Runner{Workers: 4, Cache: cache, RunFn: counting}
-	reps, err := warm.Run(spec.Cells())
+	reps, err := warm.Run(mustCells(t, spec))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,11 +291,11 @@ func TestRunReportsLowestFailingCell(t *testing.T) {
 		}
 		return fakeRun(cfg, w)
 	}
-	cells := SweepSpec{
+	cells := mustCells(t, SweepSpec{
 		Platforms: []config.Platform{config.Origin, config.Hetero, config.OhmBW},
 		Modes:     []config.MemMode{config.Planar},
 		Workloads: []string{"lud", "sssp"},
-	}.Cells()
+	})
 	r := &Runner{Workers: 4, RunFn: run}
 	_, err := r.Run(cells)
 	if !errors.Is(err, boom) {
@@ -447,11 +457,11 @@ func TestRunContextCancelStopsScheduling(t *testing.T) {
 		<-release
 		return fakeRun(cfg, w)
 	}
-	cells := SweepSpec{
+	cells := mustCells(t, SweepSpec{
 		Platforms: []config.Platform{config.OhmBase},
 		Modes:     []config.MemMode{config.Planar},
 		Workloads: []string{"lud", "sssp", "pagerank", "bfstopo"},
-	}.Cells()
+	})
 
 	r := &Runner{Workers: 1, RunFn: blocking}
 	ctx, cancel := context.WithCancel(context.Background())
@@ -475,11 +485,11 @@ func TestRunContextCancelStopsScheduling(t *testing.T) {
 // TestRunContextProgress pins the progress contract: monotonic done out of
 // a fixed total, and hit=false on a cold run vs hit=true on a warm rerun.
 func TestRunContextProgress(t *testing.T) {
-	cells := SweepSpec{
+	cells := mustCells(t, SweepSpec{
 		Platforms: []config.Platform{config.OhmBase, config.Oracle},
 		Modes:     []config.MemMode{config.Planar},
 		Workloads: []string{"lud", "sssp"},
-	}.Cells()
+	})
 	r := &Runner{Workers: 4, Cache: NewMemCache(), RunFn: fakeRun}
 
 	observe := func() (dones []int, totals []int, hits []bool) {

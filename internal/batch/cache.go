@@ -18,9 +18,12 @@ import (
 const keyVersion = "ohm-batch-v1"
 
 // Key returns the cell's content address: a hash of the fully-resolved
-// configuration, the workload name and the variant salt. Two cells with
-// equal keys produce byte-identical reports (the simulator is deterministic
-// and seeded from the config), which is what makes the cache safe.
+// configuration, the workload name and the variant salt — plus, for inline
+// custom workloads, the full workload definition, so two custom workloads
+// sharing a name never collide. Table II cells hash exactly as they always
+// have, keeping caches warm across the spec redesign. Two cells with equal
+// keys produce byte-identical reports (the simulator is deterministic and
+// seeded from the config), which is what makes the cache safe.
 func (c Cell) Key() (string, error) {
 	cfg, err := json.Marshal(c.Config)
 	if err != nil {
@@ -34,6 +37,14 @@ func (c Cell) Key() (string, error) {
 	h.Write([]byte(c.Workload))
 	h.Write([]byte{0})
 	h.Write([]byte(c.Salt))
+	if c.WorkloadDef != nil {
+		def, err := json.Marshal(c.WorkloadDef)
+		if err != nil {
+			return "", fmt.Errorf("batch: hash workload def: %w", err)
+		}
+		h.Write([]byte{0})
+		h.Write(def)
+	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
 

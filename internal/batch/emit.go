@@ -3,9 +3,13 @@ package batch
 import (
 	"encoding/csv"
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 	"strconv"
+	"strings"
 
+	"repro/internal/config"
 	"repro/internal/stats"
 )
 
@@ -13,12 +17,18 @@ import (
 // sweep output shared by cmd/ohmbatch and the ohmserve daemon, so a saved
 // file and a served response are interchangeable.
 type Row struct {
-	Index      int          `json:"index"`
-	Platform   string       `json:"platform"`
-	Mode       string       `json:"mode"`
-	Workload   string       `json:"workload"`
-	Waveguides int          `json:"waveguides"`
-	Report     stats.Report `json:"report"`
+	Index      int    `json:"index"`
+	Platform   string `json:"platform"`
+	Mode       string `json:"mode"`
+	Workload   string `json:"workload"`
+	Waveguides int    `json:"waveguides"`
+	// Overrides are the dotted-path settings the cell's expansion applied
+	// (empty for plain grid cells).
+	Overrides map[string]interface{} `json:"overrides,omitempty"`
+	// WorkloadDef is the inline definition of a spec-defined custom
+	// workload (nil for Table II workloads).
+	WorkloadDef *config.Workload `json:"workload_def,omitempty"`
+	Report      stats.Report     `json:"report"`
 }
 
 // Rows pairs cells with their reports positionally.
@@ -26,12 +36,14 @@ func Rows(cells []Cell, reports []stats.Report) []Row {
 	rows := make([]Row, len(cells))
 	for i, c := range cells {
 		rows[i] = Row{
-			Index:      c.Index,
-			Platform:   c.Platform.String(),
-			Mode:       c.Mode.String(),
-			Workload:   c.Workload,
-			Waveguides: c.Config.Optical.Waveguides,
-			Report:     reports[i],
+			Index:       c.Index,
+			Platform:    c.Platform.String(),
+			Mode:        c.Mode.String(),
+			Workload:    c.Workload,
+			Waveguides:  c.Config.Optical.Waveguides,
+			Overrides:   c.Overrides,
+			WorkloadDef: c.WorkloadDef,
+			Report:      reports[i],
 		}
 	}
 	return rows
@@ -49,7 +61,28 @@ var csvHeader = []string{
 	"index", "platform", "mode", "workload", "waveguides",
 	"elapsed_ps", "ipc", "mean_latency_ps", "p99_latency_ps",
 	"copy_fraction", "instructions", "mem_requests", "migrations",
-	"regular_bytes", "copy_bytes", "energy_pj",
+	"regular_bytes", "copy_bytes", "energy_pj", "overrides",
+}
+
+// overridesLabel renders a cell's override patch as a stable
+// "path=value;path=value" string for the CSV overrides column.
+func overridesLabel(o map[string]interface{}) string {
+	if len(o) == 0 {
+		return ""
+	}
+	paths := make([]string, 0, len(o))
+	for p := range o {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	for i, p := range paths {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s=%v", p, o[p])
+	}
+	return b.String()
 }
 
 // WriteCSV emits the sweep results as CSV with a fixed header.
@@ -77,6 +110,7 @@ func WriteCSV(w io.Writer, cells []Cell, reports []stats.Report) error {
 			strconv.FormatUint(r.RegularBytes, 10),
 			strconv.FormatUint(r.CopyBytes, 10),
 			strconv.FormatFloat(r.TotalEnergyPJ(), 'g', -1, 64),
+			overridesLabel(c.Overrides),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err

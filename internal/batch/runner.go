@@ -32,8 +32,10 @@ type Runner struct {
 	// Cache, when non-nil, short-circuits cells whose content address has a
 	// stored report and stores fresh results.
 	Cache Cache
-	// RunFn executes a cell without its own RunFn; nil means core.RunConfig.
-	// Tests inject counters here to prove warm-cache runs never simulate.
+	// RunFn executes a name-resolved cell without its own RunFn; nil means
+	// core.RunConfig. Cells carrying an inline WorkloadDef bypass it and
+	// always simulate their definition. Tests inject counters here to
+	// prove warm-cache runs never simulate.
 	RunFn RunFunc
 
 	hits    atomic.Uint64
@@ -113,7 +115,11 @@ type Progress func(done, total int, hit bool)
 
 // RunSpec expands the spec and runs its cells.
 func (r *Runner) RunSpec(spec SweepSpec) ([]stats.Report, error) {
-	return r.Run(spec.Cells())
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(cells)
 }
 
 // Run executes every cell and returns reports positionally aligned with
@@ -300,6 +306,14 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, error) {
 	defer r.release()
 	r.misses.Add(1)
 	run := c.RunFn
+	if run == nil && c.WorkloadDef != nil {
+		// A cell carrying an inline workload definition is self-describing:
+		// it always simulates from that definition. Routing it through
+		// Runner.RunFn — which only sees the workload *name* — would run
+		// the Table II namesake (or fail on an unknown name) while the
+		// cache keyed on the custom definition.
+		return core.RunWorkloadDef(c.Config, *c.WorkloadDef)
+	}
 	if run == nil {
 		run = r.RunFn
 	}

@@ -9,16 +9,20 @@
 package batch
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/stats"
 )
 
 // Cell is one fully-resolved simulation to run: a complete config plus a
-// workload name. The zero RunFn means core.RunConfig; experiments install
+// workload. The zero RunFn means core.RunConfig (or, when WorkloadDef is
+// set, a run of that inline workload definition); experiments install
 // closures when a cell needs a custom host model or trace, in which case
 // Salt must name the variant for the result cache (an empty Salt disables
 // caching for that cell, since the key cannot see inside a closure).
@@ -27,54 +31,122 @@ type Cell struct {
 	Platform config.Platform `json:"-"`
 	Mode     config.MemMode  `json:"-"`
 	Workload string          `json:"workload"`
-	Config   config.Config   `json:"-"`
-	Salt     string          `json:"salt,omitempty"`
-	RunFn    RunFunc         `json:"-"`
+	// WorkloadDef, when non-nil, is an inline custom workload (not a Table
+	// II entry): the simulation generates its trace from this struct and
+	// the cache key covers the full definition, not just the name.
+	WorkloadDef *config.Workload `json:"workload_def,omitempty"`
+	Config      config.Config    `json:"-"`
+	// Overrides records the dotted-path settings this cell's expansion
+	// applied (the Config already reflects them); it labels result rows and
+	// never contributes to the cache key.
+	Overrides map[string]interface{} `json:"overrides,omitempty"`
+	Salt      string                 `json:"salt,omitempty"`
+	RunFn     RunFunc                `json:"-"`
 }
 
 // RunFunc executes one cell and returns its report.
 type RunFunc func(cfg config.Config, workload string) (stats.Report, error)
 
-// String identifies the cell in errors and logs.
+// String identifies the cell in errors and logs, including any override
+// patch so two cells of one sweep axis stay distinguishable.
 func (c Cell) String() string {
 	s := fmt.Sprintf("%s/%s/%s", c.Platform, c.Mode, c.Workload)
+	if len(c.Overrides) > 0 {
+		s += "@" + overridesLabel(c.Overrides)
+	}
 	if c.Salt != "" {
 		s += "#" + c.Salt
 	}
 	return s
 }
 
+// Axis is one override axis: the list of values a dotted config path
+// sweeps through. On the wire a single-valued axis is a bare scalar, a
+// multi-valued one a JSON array.
+type Axis []interface{}
+
+// MarshalJSON writes single-valued axes as their scalar.
+func (a Axis) MarshalJSON() ([]byte, error) {
+	if len(a) == 1 {
+		return json.Marshal(a[0])
+	}
+	return json.Marshal([]interface{}(a))
+}
+
+// UnmarshalJSON accepts a scalar or an array of scalars.
+func (a *Axis) UnmarshalJSON(data []byte) error {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var vals []interface{}
+		if err := json.Unmarshal(data, &vals); err != nil {
+			return err
+		}
+		*a = vals
+		return nil
+	}
+	var v interface{}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*a = Axis{v}
+	return nil
+}
+
+// Overrides maps dotted config paths (config.OverridePaths) to the value
+// axis each path sweeps; the expansion takes the cross product of every
+// axis in sorted path order. A single-valued axis is a fixed override on
+// every cell.
+type Overrides map[string]Axis
+
 // SweepSpec declares an evaluation grid: the cross product of platforms,
-// memory modes, workloads and optional config-override axes. Specs are
-// JSON-serializable (platforms and modes by their paper names) so sweeps
-// can be checked into files and replayed by cmd/ohmbatch.
+// memory modes, workloads and override axes. Specs are JSON-serializable
+// (platforms and modes by their paper names) so sweeps can be checked into
+// files and replayed by cmd/ohmbatch or POSTed to the ohmserve daemon.
 type SweepSpec struct {
 	Platforms []config.Platform `json:"-"`
 	Modes     []config.MemMode  `json:"-"`
-	Workloads []string          `json:"workloads,omitempty"`
+	// Workloads lists workload names: Table II entries, or names defined in
+	// CustomWorkloads (spec-local definitions shadow Table II).
+	Workloads []string `json:"workloads,omitempty"`
+	// CustomWorkloads defines inline workloads the spec can reference by
+	// name; if Workloads is empty, the custom names become the workload
+	// axis.
+	CustomWorkloads []config.Workload `json:"custom_workloads,omitempty"`
 
-	// Waveguides sweeps the optical waveguide count (Figure 20a's axis);
-	// empty means the platform default.
+	// Overrides sweeps config fields by dotted path; the cell list is the
+	// cross product of all value lists (sorted by path), e.g.
+	// {"optical.waveguides": [1,2,4], "xpoint.write_latency_ns": 900}.
+	Overrides Overrides `json:"overrides,omitempty"`
+
+	// Waveguides sweeps the optical waveguide count (Figure 20a's axis).
+	//
+	// Deprecated: alias for Overrides["optical.waveguides"]; kept for
+	// existing spec files and callers.
 	Waveguides []int `json:"waveguides,omitempty"`
 
 	// MaxInstructions overrides the per-warp instruction budget on every
-	// cell; 0 keeps the config default.
+	// cell; 0 keeps the config default. (Equivalent to a single-valued
+	// "max_instructions" override axis.)
 	MaxInstructions int `json:"max_instructions,omitempty"`
 }
 
 // specJSON is the wire form of SweepSpec with names instead of enums.
 type specJSON struct {
-	Platforms       []string `json:"platforms,omitempty"`
-	Modes           []string `json:"modes,omitempty"`
-	Workloads       []string `json:"workloads,omitempty"`
-	Waveguides      []int    `json:"waveguides,omitempty"`
-	MaxInstructions int      `json:"max_instructions,omitempty"`
+	Platforms       []string          `json:"platforms,omitempty"`
+	Modes           []string          `json:"modes,omitempty"`
+	Workloads       []string          `json:"workloads,omitempty"`
+	CustomWorkloads []config.Workload `json:"custom_workloads,omitempty"`
+	Overrides       Overrides         `json:"overrides,omitempty"`
+	Waveguides      []int             `json:"waveguides,omitempty"`
+	MaxInstructions int               `json:"max_instructions,omitempty"`
 }
 
 // MarshalJSON writes platforms and modes by name.
 func (s SweepSpec) MarshalJSON() ([]byte, error) {
 	w := specJSON{
 		Workloads:       s.Workloads,
+		CustomWorkloads: s.CustomWorkloads,
+		Overrides:       s.Overrides,
 		Waveguides:      s.Waveguides,
 		MaxInstructions: s.MaxInstructions,
 	}
@@ -88,13 +160,19 @@ func (s SweepSpec) MarshalJSON() ([]byte, error) {
 }
 
 // UnmarshalJSON parses platform and mode names (ohmsim's spellings).
+// Unknown fields are errors, so a misspelled axis fails loudly instead of
+// silently running the wrong sweep.
 func (s *SweepSpec) UnmarshalJSON(data []byte) error {
 	var w specJSON
-	if err := json.Unmarshal(data, &w); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
 		return err
 	}
 	*s = SweepSpec{
 		Workloads:       w.Workloads,
+		CustomWorkloads: w.CustomWorkloads,
+		Overrides:       w.Overrides,
 		Waveguides:      w.Waveguides,
 		MaxInstructions: w.MaxInstructions,
 	}
@@ -115,20 +193,94 @@ func (s *SweepSpec) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// LoadSpec reads a SweepSpec from a JSON file.
+// LoadSpec reads a sweep from a JSON file. The file may be either a
+// SweepSpec grid or a single config.Spec scenario document ({preset, mode,
+// overrides, workload} — anything declaring one of those keys), which
+// expands to a one-cell sweep, so every entry point accepts the same
+// scenario files.
 func LoadSpec(path string) (SweepSpec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return SweepSpec{}, err
 	}
-	var s SweepSpec
-	if err := json.Unmarshal(data, &s); err != nil {
+	s, err := ParseSpec(data)
+	if err != nil {
 		return SweepSpec{}, fmt.Errorf("batch: spec %s: %w", path, err)
 	}
 	return s, nil
 }
 
-// withDefaults fills empty axes with the full paper grid.
+// ParseSpec decodes SweepSpec or scenario JSON (see LoadSpec). A document
+// declaring only "overrides" is ambiguous — it is a valid one-cell
+// scenario *and* a valid full-grid sweep — so it is rejected with
+// instructions rather than silently meaning different things to different
+// entry points.
+func ParseSpec(data []byte) (SweepSpec, error) {
+	var probe struct {
+		Preset   json.RawMessage `json:"preset"`
+		Mode     json.RawMessage `json:"mode"`
+		Workload json.RawMessage `json:"workload"`
+
+		Platforms       json.RawMessage `json:"platforms"`
+		Modes           json.RawMessage `json:"modes"`
+		Workloads       json.RawMessage `json:"workloads"`
+		CustomWorkloads json.RawMessage `json:"custom_workloads"`
+		Waveguides      json.RawMessage `json:"waveguides"`
+
+		Overrides json.RawMessage `json:"overrides"`
+	}
+	if err := json.Unmarshal(data, &probe); err == nil {
+		scenario := probe.Preset != nil || probe.Mode != nil || probe.Workload != nil
+		sweep := probe.Platforms != nil || probe.Modes != nil || probe.Workloads != nil ||
+			probe.CustomWorkloads != nil || probe.Waveguides != nil
+		switch {
+		case scenario:
+			var sc config.Spec
+			dec := json.NewDecoder(bytes.NewReader(data))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&sc); err != nil {
+				return SweepSpec{}, err
+			}
+			return ScenarioSpec(sc)
+		case !sweep && probe.Overrides != nil:
+			return SweepSpec{}, fmt.Errorf("batch: ambiguous spec: an overrides-only document could be a one-run scenario or a full-grid sweep; add \"preset\" (scenario) or \"platforms\"/\"modes\"/\"workloads\" (sweep)")
+		}
+	}
+	var s SweepSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return SweepSpec{}, err
+	}
+	return s, nil
+}
+
+// ScenarioSpec converts a resolved scenario document into its one-cell
+// sweep: the cell's config is exactly Spec.Resolve's, so `ohmsim -spec`,
+// `ohmbatch -spec` and a POSTed scenario produce identical cache keys and
+// reports.
+func ScenarioSpec(sc config.Spec) (SweepSpec, error) {
+	r, err := sc.Resolve() // validates preset, overrides and workload
+	if err != nil {
+		return SweepSpec{}, err
+	}
+	spec := SweepSpec{
+		Platforms: []config.Platform{r.Preset.Platform},
+		Modes:     []config.MemMode{r.Config.Mode},
+		Workloads: []string{r.Workload.Name},
+	}
+	if r.Custom {
+		spec.CustomWorkloads = []config.Workload{r.Workload}
+	}
+	if len(sc.Overrides) > 0 {
+		spec.Overrides = make(Overrides, len(sc.Overrides))
+		for path, v := range sc.Overrides {
+			spec.Overrides[path] = Axis{v}
+		}
+	}
+	return spec, nil
+}
+
+// withDefaults fills empty axes with the full paper grid (or, when the
+// spec defines custom workloads and names none, with the custom set).
 func (s SweepSpec) withDefaults() SweepSpec {
 	if len(s.Platforms) == 0 {
 		s.Platforms = config.AllPlatforms()
@@ -137,42 +289,179 @@ func (s SweepSpec) withDefaults() SweepSpec {
 		s.Modes = config.AllModes()
 	}
 	if len(s.Workloads) == 0 {
-		s.Workloads = config.WorkloadNames()
+		if len(s.CustomWorkloads) > 0 {
+			for _, w := range s.CustomWorkloads {
+				s.Workloads = append(s.Workloads, w.Name)
+			}
+		} else {
+			s.Workloads = config.WorkloadNames()
+		}
 	}
 	return s
 }
 
-// Cells expands the spec into its deterministic cell list: modes outermost,
-// then waveguide settings, platforms, workloads — the iteration order every
-// consumer (and the result ordering) can rely on.
-func (s SweepSpec) Cells() []Cell {
-	s = s.withDefaults()
-	wgs := s.Waveguides
-	if len(wgs) == 0 {
-		wgs = []int{0} // 0 = platform default
+// MaxCells bounds one spec's expansion. Override axes cross-multiply, so a
+// few hundred bytes of JSON could otherwise demand billions of cells; the
+// guard runs on the counted product before anything is allocated, keeping a
+// hostile or fat-fingered spec from exhausting memory (the ohmserve daemon
+// expands untrusted specs at submission).
+const MaxCells = 1 << 18
+
+// overrideCombos expands the override axes (deprecated Waveguides folded
+// in) into the deterministic list of per-cell patches: paths sorted, the
+// first path's axis outermost. A spec with no overrides yields one empty
+// combo. Paths are normalized (lower-case, trimmed) the same way
+// config.Set resolves them, so two spellings of one path are a loud
+// conflict instead of a silent clobber.
+func (s SweepSpec) overrideCombos() ([]map[string]interface{}, error) {
+	ov := make(Overrides, len(s.Overrides)+1)
+	for p, a := range s.Overrides {
+		key := strings.ToLower(strings.TrimSpace(p))
+		if len(a) == 0 {
+			return nil, fmt.Errorf("batch: override %q: empty value list", p)
+		}
+		if _, dup := ov[key]; dup {
+			return nil, fmt.Errorf("batch: override path %q given twice (spellings are case-insensitive)", key)
+		}
+		ov[key] = a
 	}
+	if len(s.Waveguides) > 0 {
+		if _, dup := ov["optical.waveguides"]; dup {
+			return nil, fmt.Errorf("batch: both the deprecated waveguides field and overrides[%q] are set", "optical.waveguides")
+		}
+		ax := make(Axis, len(s.Waveguides))
+		for i, wg := range s.Waveguides {
+			ax[i] = wg
+		}
+		ov["optical.waveguides"] = ax
+	}
+	if s.MaxInstructions > 0 {
+		if _, dup := ov["max_instructions"]; dup {
+			return nil, fmt.Errorf("batch: both the max_instructions field (-instr) and overrides[%q] are set; drop one (-set max_instructions=... replaces a spec file's axis)", "max_instructions")
+		}
+	}
+	if len(ov) == 0 {
+		return []map[string]interface{}{nil}, nil
+	}
+	paths := make([]string, 0, len(ov))
+	n := 1
+	for p := range ov {
+		paths = append(paths, p)
+		if n = n * len(ov[p]); n > MaxCells {
+			return nil, fmt.Errorf("batch: override axes expand to more than %d combinations", MaxCells)
+		}
+	}
+	sort.Strings(paths)
+	combos := []map[string]interface{}{{}}
+	for _, p := range paths {
+		next := make([]map[string]interface{}, 0, len(combos)*len(ov[p]))
+		for _, base := range combos {
+			for _, v := range ov[p] {
+				m := make(map[string]interface{}, len(base)+1)
+				for k, bv := range base {
+					m[k] = bv
+				}
+				m[p] = v
+				next = append(next, m)
+			}
+		}
+		combos = next
+	}
+	// The first sorted path varies slowest (outermost), matching the
+	// historical waveguide loop position.
+	return combos, nil
+}
+
+// Cells expands the spec into its deterministic cell list: modes outermost,
+// then override combinations (sorted paths, first path slowest), platforms,
+// workloads — the iteration order every consumer (and the result ordering)
+// can rely on. Unknown workload names and invalid override paths or values
+// fail here, naming the offender.
+func (s SweepSpec) Cells() ([]Cell, error) {
+	s = s.withDefaults()
+	combos, err := s.overrideCombos()
+	if err != nil {
+		return nil, err
+	}
+	// Multiply stepwise so an adversarial spec with huge axis lists cannot
+	// overflow the product past the cap (each step keeps n <= MaxCells
+	// before the next bounded factor).
+	n := 1
+	for _, f := range []int{len(s.Modes), len(combos), len(s.Platforms), len(s.Workloads)} {
+		if n = n * f; n > MaxCells {
+			return nil, fmt.Errorf("batch: spec expands to more than %d cells", MaxCells)
+		}
+	}
+
+	custom := make(map[string]*config.Workload, len(s.CustomWorkloads))
+	for i := range s.CustomWorkloads {
+		w := s.CustomWorkloads[i]
+		if err := w.Validate(); err != nil {
+			return nil, fmt.Errorf("batch: custom workload: %w", err)
+		}
+		if _, dup := custom[w.Name]; dup {
+			return nil, fmt.Errorf("batch: custom workload %q defined twice", w.Name)
+		}
+		custom[w.Name] = &w
+	}
+	defs := make(map[string]config.Workload, len(s.Workloads))
+	for _, name := range s.Workloads {
+		if cw := custom[name]; cw != nil {
+			defs[name] = *cw
+			continue
+		}
+		w, ok := config.WorkloadByName(name)
+		if !ok {
+			return nil, fmt.Errorf("batch: unknown workload %q (Table II names: %v; spec-local: %v)",
+				name, config.WorkloadNames(), customNames(s.CustomWorkloads))
+		}
+		defs[name] = w
+	}
+
 	var cells []Cell
 	for _, m := range s.Modes {
-		for _, wg := range wgs {
+		for _, combo := range combos {
 			for _, p := range s.Platforms {
 				for _, w := range s.Workloads {
 					cfg := config.Default(p, m)
-					if wg > 0 {
-						cfg.Optical.Waveguides = wg
-					}
 					if s.MaxInstructions > 0 {
 						cfg.MaxInstructions = s.MaxInstructions
 					}
+					if err := cfg.ApplyOverrides(combo); err != nil {
+						return nil, fmt.Errorf("batch: %w", err)
+					}
+					if err := config.ValidateTraceBudget(defs[w], &cfg); err != nil {
+						return nil, fmt.Errorf("batch: %w", err)
+					}
+					var def *config.Workload
+					if cw := custom[w]; cw != nil {
+						// The resolved definition also canonicalizes: a
+						// "custom" workload identical to its Table II
+						// namesake keys as the named workload.
+						if table, ok := config.WorkloadByName(w); !ok || table != *cw {
+							def = cw
+						}
+					}
 					cells = append(cells, Cell{
-						Index:    len(cells),
-						Platform: p,
-						Mode:     m,
-						Workload: w,
-						Config:   cfg,
+						Index:       len(cells),
+						Platform:    p,
+						Mode:        m,
+						Workload:    w,
+						WorkloadDef: def,
+						Config:      cfg,
+						Overrides:   combo,
 					})
 				}
 			}
 		}
 	}
-	return cells
+	return cells, nil
+}
+
+func customNames(ws []config.Workload) []string {
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return names
 }

@@ -54,16 +54,14 @@ func AllPlatforms() []Platform {
 }
 
 // ParsePlatform resolves a platform from its paper name (case-insensitive,
-// "-" and "_" interchangeable): "origin", "hetero", "ohm-base", "auto-rw",
-// "ohm-wom", "ohm-bw", "oracle".
+// "-" and "_" interchangeable), via the preset registry: "origin",
+// "hetero", "ohm-base", "auto-rw", "ohm-wom", "ohm-bw", "oracle".
 func ParsePlatform(name string) (Platform, error) {
-	n := normalizeName(name)
-	for _, p := range AllPlatforms() {
-		if normalizeName(p.String()) == n {
-			return p, nil
-		}
+	if p, ok := LookupPreset(name); ok {
+		return p.Platform, nil
 	}
-	return 0, fmt.Errorf("config: unknown platform %q", name)
+	return 0, fmt.Errorf("config: unknown platform %q (%s)",
+		name, strings.Join(PresetNames(), "|"))
 }
 
 // ParseMode resolves a memory mode from its name: "planar", "two-level"
@@ -456,8 +454,23 @@ func (c *Config) Validate() error {
 	if c.MaxInstructions <= 0 {
 		return fmt.Errorf("config: MaxInstructions must be positive")
 	}
+	// Bound the total trace budget: every warp pre-allocates its
+	// instruction stream, and all three factors are override-reachable from
+	// untrusted specs, so an unbounded product would let a small document
+	// demand a terabyte-class allocation (the cap still allows >10,000x the
+	// default 16x8x20000 budget).
+	if c.GPU.SMs > MaxTraceInstructions ||
+		c.GPU.WarpsPerSM > MaxTraceInstructions/c.GPU.SMs ||
+		c.MaxInstructions > MaxTraceInstructions/(c.GPU.SMs*c.GPU.WarpsPerSM) {
+		return fmt.Errorf("config: trace budget %d SMs x %d warps x %d instructions exceeds %d total instructions",
+			c.GPU.SMs, c.GPU.WarpsPerSM, c.MaxInstructions, MaxTraceInstructions)
+	}
 	return nil
 }
+
+// MaxTraceInstructions caps SMs x WarpsPerSM x MaxInstructions, the number
+// of trace instructions a single cell may allocate.
+const MaxTraceInstructions = 1 << 28
 
 // OpticalChannelBandwidth returns bytes/second of the whole optical channel
 // (all waveguides).

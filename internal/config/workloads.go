@@ -1,19 +1,50 @@
 package config
 
+import "fmt"
+
 // Workload describes one evaluated application per Table II. APKI is memory
 // accesses per kilo-instruction observed at the memory controller; ReadRatio
 // is the read fraction of those accesses. FootprintScale and HotSkew shape
 // the synthetic trace: footprint relative to DRAM capacity (so >1 forces
 // XPoint/host residency) and the Zipf skew of the address stream (higher =
-// hotter pages = more migration opportunities).
+// hotter pages = more migration opportunities). The JSON form is the wire
+// shape of inline custom workloads in scenario specs.
 type Workload struct {
-	Name           string
-	APKI           int
-	ReadRatio      float64
-	Suite          string  // Rodinia / Polybench / GraphBIG per Table II
-	FootprintScale float64 // working-set bytes / DRAM capacity
-	HotSkew        float64 // Zipf skew of the page-level address stream
-	ComputeBound   bool    // compute- vs memory-intensive classification
+	Name           string  `json:"name"`
+	APKI           int     `json:"apki"`
+	ReadRatio      float64 `json:"read_ratio"`
+	Suite          string  `json:"suite,omitempty"`         // Rodinia / Polybench / GraphBIG per Table II
+	FootprintScale float64 `json:"footprint_scale"`         // working-set bytes / DRAM capacity
+	HotSkew        float64 `json:"hot_skew"`                // Zipf skew of the page-level address stream
+	ComputeBound   bool    `json:"compute_bound,omitempty"` // compute- vs memory-intensive classification
+}
+
+// MaxFootprintScale bounds inline workload footprints (units of
+// FootprintUnit, i.e. 8 GiB at the cap). Trace generation allocates
+// per-page state, so an unbounded scale would let a small untrusted spec
+// demand a terabyte-class allocation inside the ohmserve daemon.
+const MaxFootprintScale = 1024
+
+// Validate checks an inline workload definition; spec resolution rejects
+// definitions the trace generator cannot calibrate to (or cannot afford).
+func (w Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: name is required")
+	}
+	if w.APKI <= 0 {
+		return fmt.Errorf("workload %q: apki must be positive, got %d", w.Name, w.APKI)
+	}
+	if w.ReadRatio < 0 || w.ReadRatio > 1 {
+		return fmt.Errorf("workload %q: read_ratio must be in [0,1], got %g", w.Name, w.ReadRatio)
+	}
+	if w.FootprintScale <= 0 || w.FootprintScale > MaxFootprintScale {
+		return fmt.Errorf("workload %q: footprint_scale must be in (0,%d], got %g",
+			w.Name, MaxFootprintScale, w.FootprintScale)
+	}
+	if w.HotSkew < 0 {
+		return fmt.Errorf("workload %q: hot_skew must be non-negative, got %g", w.Name, w.HotSkew)
+	}
+	return nil
 }
 
 // Workloads reproduces Table II's ten applications. Footprint scales and

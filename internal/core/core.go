@@ -86,6 +86,15 @@ func (s *System) RunWorkload(name string) (stats.Report, error) {
 	return s.RunTrace(tr), nil
 }
 
+// RunWorkloadDef runs an explicit workload definition — an inline custom
+// workload from a scenario spec, or a Table II struct. The trace registry
+// keys on the full definition, so two custom workloads sharing a name get
+// distinct traces, and a definition equal to a Table II entry shares that
+// entry's cached trace.
+func (s *System) RunWorkloadDef(w config.Workload) stats.Report {
+	return s.RunTrace(trace.Cached(w, &s.Cfg))
+}
+
 // Run builds a fresh system for (platform, mode) and runs one workload;
 // this is the one-call entry point used by experiments and benchmarks.
 func Run(p config.Platform, m config.MemMode, workload string) (stats.Report, error) {
@@ -103,4 +112,15 @@ func RunConfig(cfg config.Config, workload string) (stats.Report, error) {
 		return stats.Report{}, err
 	}
 	return sys.RunWorkload(workload)
+}
+
+// RunWorkloadDef builds a system from an explicit config and runs an
+// explicit workload definition (the custom-workload counterpart of
+// RunConfig, used by the batch engine for spec-defined workloads).
+func RunWorkloadDef(cfg config.Config, w config.Workload) (stats.Report, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return stats.Report{}, err
+	}
+	return sys.RunWorkloadDef(w), nil
 }

@@ -184,7 +184,10 @@ func (g *Grid) Render() string {
 // mode — all cells in parallel on the shared runner — and returns
 // reports[workload][platform].
 func (o Options) gatherReports(m config.MemMode, platforms []config.Platform) (map[string]map[config.Platform]stats.Report, error) {
-	cells := o.spec([]config.MemMode{m}, platforms).Cells()
+	cells, err := o.spec([]config.MemMode{m}, platforms).Cells()
+	if err != nil {
+		return nil, err
+	}
 	reps, err := o.exec(cells)
 	if err != nil {
 		return nil, err

@@ -32,8 +32,11 @@ func Fig20a(o Options) (*Fig20aResult, error) {
 	}
 	nHet := len(cells)
 	sweep := o.spec(planar, []config.Platform{config.OhmBase, config.OhmBW})
-	sweep.Waveguides = []int{1, 2, 3, 4, 5, 6, 7, 8}
-	sweepCells := sweep.Cells()
+	sweep.Overrides = batch.Overrides{"optical.waveguides": {1, 2, 3, 4, 5, 6, 7, 8}}
+	sweepCells, err := sweep.Cells()
+	if err != nil {
+		return nil, err
+	}
 	cells = append(cells, sweepCells...)
 
 	reps, err := o.exec(cells)

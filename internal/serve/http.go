@@ -7,18 +7,22 @@ import (
 	"strings"
 
 	"repro/internal/batch"
+	"repro/internal/config"
 	"repro/internal/experiments"
 )
 
 // NewHandler returns the daemon's HTTP API:
 //
-//	POST   /v1/sweeps           submit a job (sweep spec or experiment id)
+//	POST   /v1/sweeps           submit a job (sweep spec, scenario document or experiment id)
 //	GET    /v1/jobs             list all jobs
 //	GET    /v1/jobs/{id}        job status with per-cell progress
 //	GET    /v1/jobs/{id}/result finished results (JSON, or CSV for sweeps)
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/experiments      list the registered experiment drivers
-//	GET    /healthz             liveness plus shared-cache counters
+//	GET    /v1/platforms        list the platform presets (discovery)
+//	GET    /v1/workloads        list the Table II workload definitions (discovery)
+//	GET    /v1/healthz          liveness: uptime, queue depth, jobs running
+//	GET    /healthz             legacy liveness plus shared-cache counters
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
@@ -67,6 +71,36 @@ func NewHandler(m *Manager) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
+	mux.HandleFunc("GET /v1/platforms", func(w http.ResponseWriter, r *http.Request) {
+		type entry struct {
+			Name          string   `json:"name"`
+			Title         string   `json:"title"`
+			Optical       bool     `json:"optical"`
+			Heterogeneous bool     `json:"heterogeneous"`
+			Modes         []string `json:"modes"`
+		}
+		modes := make([]string, 0, len(config.AllModes()))
+		for _, m := range config.AllModes() {
+			modes = append(modes, m.String())
+		}
+		var out []entry
+		for _, p := range config.Presets() {
+			out = append(out, entry{
+				Name:          p.Name,
+				Title:         p.Title,
+				Optical:       p.Platform.Optical(),
+				Heterogeneous: p.Platform.Heterogeneous(),
+				Modes:         modes,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /v1/workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, config.Workloads())
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Health())
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := m.Runner().Stats()
 		writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -82,9 +116,13 @@ func NewHandler(m *Manager) http.Handler {
 	return mux
 }
 
+// maxSubmitBytes bounds POST /v1/sweeps bodies: far above any legitimate
+// spec, far below what giant repeated-axis lists need to stress expansion.
+const maxSubmitBytes = 4 << 20
+
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	var req Request
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
@@ -36,8 +37,9 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCancelled
 }
 
-// Request is the submission body of POST /v1/sweeps: either a raw sweep
-// spec or a registered experiment id plus parameters — exactly one.
+// Request is the submission body of POST /v1/sweeps: a raw sweep spec, a
+// single scenario document, or a registered experiment id plus parameters —
+// exactly one.
 type Request struct {
 	// Experiment names a driver from the internal/experiments registry.
 	Experiment string `json:"experiment,omitempty"`
@@ -45,27 +47,76 @@ type Request struct {
 	Params experiments.Params `json:"params,omitempty"`
 	// Spec is a raw sweep over the evaluation grid (cmd/ohmbatch's shape).
 	Spec *batch.SweepSpec `json:"spec,omitempty"`
+	// Scenario is one declarative scenario document ({preset, mode,
+	// overrides, workload} — the ohmsim -spec shape); it runs as a one-cell
+	// sweep with the same cache key every other entry point produces.
+	Scenario *config.Spec `json:"scenario,omitempty"`
 }
 
 // Kind returns "experiment" or "sweep".
 func (r Request) Kind() string {
-	if r.Spec != nil {
+	if r.Spec != nil || r.Scenario != nil {
 		return "sweep"
 	}
 	return "experiment"
 }
 
-// Validate checks that the request names exactly one runnable thing.
+// Validate checks that the request names exactly one runnable thing and
+// that it expands cleanly — bad override paths, unknown presets and
+// malformed workloads are rejected at submission with the offending path
+// in the error, not when the job runs.
 func (r Request) Validate() error {
-	if (r.Experiment != "") == (r.Spec != nil) {
-		return errors.New("serve: request must carry exactly one of \"experiment\" or \"spec\"")
+	_, _, err := r.prepare()
+	return err
+}
+
+// prepare validates and canonicalizes the request: the experiment id takes
+// its registry spelling, a scenario becomes its one-cell sweep, and sweep
+// specs are expanded and per-cell validated so a bad submission gets a 400
+// here rather than a failed job later. The returned cells exist for
+// validation only; Submit drops them (see its comment).
+func (r Request) prepare() (Request, []batch.Cell, error) {
+	n := 0
+	if r.Experiment != "" {
+		n++
+	}
+	if r.Spec != nil {
+		n++
+	}
+	if r.Scenario != nil {
+		n++
+	}
+	if n != 1 {
+		return r, nil, errors.New("serve: request must carry exactly one of \"experiment\", \"spec\" or \"scenario\"")
 	}
 	if r.Experiment != "" {
-		if _, ok := experiments.Lookup(r.Experiment); !ok {
-			return fmt.Errorf("serve: unknown experiment %q", r.Experiment)
+		// Canonicalize the id (Lookup is case-insensitive) so the job's
+		// status and result document carry the registry spelling — the
+		// result must stay byte-identical to `ohmfig -json <id>`.
+		d, ok := experiments.Lookup(r.Experiment)
+		if !ok {
+			return r, nil, fmt.Errorf("serve: unknown experiment %q", r.Experiment)
+		}
+		r.Experiment = d.ID
+		return r, nil, nil
+	}
+	if r.Scenario != nil {
+		spec, err := batch.ScenarioSpec(*r.Scenario)
+		if err != nil {
+			return r, nil, fmt.Errorf("serve: %w", err)
+		}
+		r.Spec = &spec
+	}
+	cells, err := r.Spec.Cells()
+	if err != nil {
+		return r, nil, fmt.Errorf("serve: %w", err)
+	}
+	for _, c := range cells {
+		if err := c.Config.Validate(); err != nil {
+			return r, nil, fmt.Errorf("serve: cell %d (%s): %w", c.Index, c, err)
 		}
 	}
-	return nil
+	return r, cells, nil
 }
 
 // Status is a job's externally visible state, served by GET /v1/jobs/{id}.
@@ -165,6 +216,8 @@ type Manager struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 
+	started time.Time // for /v1/healthz uptime
+
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled on queue activity and shutdown
 	depth   int        // max pending jobs
@@ -197,6 +250,7 @@ func NewManager(runner *batch.Runner, workers, queueDepth int) *Manager {
 		stop:    stop,
 		depth:   queueDepth,
 		jobs:    make(map[string]*Job),
+		started: time.Now(),
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.wg.Add(workers)
@@ -209,17 +263,49 @@ func NewManager(runner *batch.Runner, workers, queueDepth int) *Manager {
 // Runner returns the shared engine (for surfacing cache stats).
 func (m *Manager) Runner() *batch.Runner { return m.runner }
 
-// Submit validates and enqueues a job.
-func (m *Manager) Submit(req Request) (*Job, error) {
-	if err := req.Validate(); err != nil {
-		return nil, err
+// Health is the liveness snapshot served by GET /v1/healthz: deployments
+// probe it to decide whether the daemon is up and how loaded it is.
+type Health struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	JobsQueued    int     `json:"jobs_queued"`
+	JobsRunning   int     `json:"jobs_running"`
+	QueueCapacity int     `json:"queue_capacity"`
+	Draining      bool    `json:"draining"`
+}
+
+// Health snapshots queue depth, running jobs and uptime.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		JobsQueued:    len(m.pending),
+		QueueCapacity: m.depth,
+		Draining:      m.closed,
 	}
-	if req.Experiment != "" {
-		// Canonicalize the id (Lookup is case-insensitive) so the job's
-		// status and result document carry the registry spelling — the
-		// result must stay byte-identical to `ohmfig -json <id>`.
-		d, _ := experiments.Lookup(req.Experiment)
-		req.Experiment = d.ID
+	if m.closed {
+		h.Status = "draining"
+	}
+	// Lock order is m.mu before job.mu, the same as pruneFinished.
+	for _, id := range m.order {
+		if m.jobs[id].Status().State == StateRunning {
+			h.JobsRunning++
+		}
+	}
+	return h
+}
+
+// Submit validates and enqueues a job. The expanded cell list prepare
+// built for validation is deliberately dropped: a few hundred bytes of
+// spec may expand to ~MaxCells cells, and pinning that on every queued job
+// would amplify small submissions into resident memory — run() re-expands
+// (microseconds) when the job actually starts.
+func (m *Manager) Submit(req Request) (*Job, error) {
+	req, _, err := req.prepare()
+	if err != nil {
+		return nil, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -354,16 +440,22 @@ func (m *Manager) run(job *Job) {
 
 	var err error
 	if job.req.Spec != nil {
-		cells := job.req.Spec.Cells()
-		job.mu.Lock()
-		job.cellsTotal = len(cells)
-		job.mu.Unlock()
-		var reports []stats.Report
-		reports, err = m.runner.RunContext(ctx, cells, progress)
+		// Re-expansion of the submit-validated spec (Submit dropped the
+		// cells to keep queued jobs small); it cannot fail differently
+		// than it did at validation, but the error path stays honest.
+		var cells []batch.Cell
+		cells, err = job.req.Spec.Cells()
 		if err == nil {
 			job.mu.Lock()
-			job.cells, job.reports = cells, reports
+			job.cellsTotal = len(cells)
 			job.mu.Unlock()
+			var reports []stats.Report
+			reports, err = m.runner.RunContext(ctx, cells, progress)
+			if err == nil {
+				job.mu.Lock()
+				job.cells, job.reports = cells, reports
+				job.mu.Unlock()
+			}
 		}
 	} else {
 		d, _ := experiments.Lookup(job.req.Experiment) // validated at submit

@@ -509,3 +509,155 @@ func TestFinishedJobRetention(t *testing.T) {
 		}
 	}
 }
+
+// TestScenarioSubmission covers the scenario form of POST /v1/sweeps: a
+// declarative {preset, mode, overrides, workload} document runs as a
+// one-cell sweep, with custom workloads carried through to the result rows.
+func TestScenarioSubmission(t *testing.T) {
+	runner := &batch.Runner{Workers: 2, Cache: batch.NewMemCache(), RunFn: fakeRun}
+	a := newAPI(t, runner, 1, 8)
+
+	id := a.submit(`{"scenario":{
+		"preset": "ohm-base",
+		"mode": "two-level",
+		"overrides": {"optical.waveguides": 2, "xpoint.write_latency_ns": 1200,
+		              "max_instructions": 800},
+		"workload": {"name": "streamwrite", "apki": 120, "read_ratio": 0.35,
+		             "footprint_scale": 3.0, "hot_skew": 0.8}}}`)
+	st := a.wait(id)
+	if st.State != StateDone || st.Kind != "sweep" || st.CellsTotal != 1 {
+		t.Fatalf("scenario job = %+v", st)
+	}
+	code, data := a.do("GET", "/v1/jobs/"+id+"/result", "")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d: %s", code, data)
+	}
+	var rows []batch.Row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Platform != "Ohm-base" || rows[0].Workload != "streamwrite" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].WorkloadDef == nil || rows[0].WorkloadDef.APKI != 120 {
+		t.Fatalf("custom workload def lost from the row: %+v", rows[0])
+	}
+	if rows[0].Waveguides != 2 {
+		t.Fatalf("override not applied: waveguides = %d", rows[0].Waveguides)
+	}
+
+	// Identical resubmission is served entirely from cache.
+	id2 := a.submit(`{"scenario":{
+		"preset": "ohm-base",
+		"mode": "two-level",
+		"overrides": {"optical.waveguides": 2, "xpoint.write_latency_ns": 1200,
+		              "max_instructions": 800},
+		"workload": {"name": "streamwrite", "apki": 120, "read_ratio": 0.35,
+		             "footprint_scale": 3.0, "hot_skew": 0.8}}}`)
+	st2 := a.wait(id2)
+	if st2.Simulated != 0 || st2.CacheHits != 1 {
+		t.Fatalf("warm scenario resubmit: %+v", st2)
+	}
+}
+
+// TestSpecValidationAt400 pins that malformed specs and scenarios are
+// rejected at submission with the offending path in the body, instead of
+// becoming failed jobs.
+func TestSpecValidationAt400(t *testing.T) {
+	runner := &batch.Runner{Workers: 1, Cache: batch.NewMemCache(), RunFn: fakeRun}
+	a := newAPI(t, runner, 1, 4)
+	cases := []struct {
+		body string
+		want string
+	}{
+		{`{"spec":{"overrides":{"gpu.typo": 1}}}`, "gpu.typo"},
+		{`{"spec":{"overrides":{"optical.waveguides": "many"}}}`, "optical.waveguides"},
+		{`{"spec":{"workloads":["nope"]}}`, "nope"},
+		{`{"spec":{"overrides":{"optical.waveguides": 0}}}`, "waveguides"},
+		{`{"scenario":{"preset":"warp-drive"}}`, "warp-drive"},
+		{`{"scenario":{"overrides":{"dram.typo": 1}}}`, "dram.typo"},
+		{`{"scenario":{"workload":{"name":"x","apki":0}}}`, "apki"},
+		{`{"spec":{},"scenario":{}}`, "exactly one"},
+	}
+	for _, c := range cases {
+		code, data := a.do("POST", "/v1/sweeps", c.body)
+		if code != http.StatusBadRequest || !strings.Contains(string(data), c.want) {
+			t.Fatalf("submit %s = %d (%s), want 400 mentioning %q", c.body, code, data, c.want)
+		}
+	}
+}
+
+// TestDiscoveryEndpoints covers GET /v1/platforms, /v1/workloads and
+// /v1/healthz.
+func TestDiscoveryEndpoints(t *testing.T) {
+	var calls atomic.Int64
+	runner, started, release := gatedRunner(1, &calls)
+	a := newAPI(t, runner, 1, 8)
+
+	code, data := a.do("GET", "/v1/platforms", "")
+	if code != http.StatusOK {
+		t.Fatalf("platforms = %d", code)
+	}
+	var platforms []struct {
+		Name          string   `json:"name"`
+		Title         string   `json:"title"`
+		Optical       bool     `json:"optical"`
+		Heterogeneous bool     `json:"heterogeneous"`
+		Modes         []string `json:"modes"`
+	}
+	if err := json.Unmarshal(data, &platforms); err != nil {
+		t.Fatal(err)
+	}
+	if len(platforms) != 7 || platforms[0].Name != "origin" || platforms[5].Name != "ohm-bw" {
+		t.Fatalf("platforms = %+v", platforms)
+	}
+	for _, p := range platforms {
+		if p.Title == "" || len(p.Modes) != 2 {
+			t.Fatalf("platform entry incomplete: %+v", p)
+		}
+	}
+	if platforms[0].Optical || !platforms[5].Optical {
+		t.Fatal("optical flags wrong")
+	}
+
+	code, data = a.do("GET", "/v1/workloads", "")
+	if code != http.StatusOK {
+		t.Fatalf("workloads = %d", code)
+	}
+	var workloads []config.Workload
+	if err := json.Unmarshal(data, &workloads); err != nil {
+		t.Fatal(err)
+	}
+	if len(workloads) != 10 || workloads[0].Name != "backp" || workloads[8].APKI != 599 {
+		t.Fatalf("workloads = %+v", workloads)
+	}
+
+	// /v1/healthz: idle, then with one running and one queued job.
+	readHealth := func() Health {
+		code, data := a.do("GET", "/v1/healthz", "")
+		if code != http.StatusOK {
+			t.Fatalf("healthz = %d: %s", code, data)
+		}
+		var h Health
+		if err := json.Unmarshal(data, &h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	h := readHealth()
+	if h.Status != "ok" || h.JobsQueued != 0 || h.JobsRunning != 0 || h.QueueCapacity != 8 {
+		t.Fatalf("idle health = %+v", h)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("negative uptime: %+v", h)
+	}
+
+	a.submit(`{"spec":{"platforms":["ohm-base"],"modes":["planar"],"workloads":["lud"]}}`)
+	<-started // the job is running, blocked in the gate
+	a.submit(`{"spec":{"platforms":["ohm-base"],"modes":["planar"],"workloads":["sssp"]}}`)
+	h = readHealth()
+	if h.JobsRunning != 1 || h.JobsQueued != 1 {
+		t.Fatalf("loaded health = %+v", h)
+	}
+	close(release)
+}
