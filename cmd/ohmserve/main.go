@@ -3,10 +3,16 @@
 // so figures and sweeps are served from one warm process (and one shared
 // result cache) instead of a fresh CLI run each time.
 //
+// Every ohmserve is also a coordinator: worker processes can join at any
+// time and sweep cells fan out across them, with every result flowing
+// back into the coordinator's content-addressed cache. A worker is the
+// same binary pointed at a coordinator.
+//
 // Usage:
 //
 //	ohmserve                                  # listen on :8080, disk cache
 //	ohmserve -addr :9090 -cache '' -job-workers 4
+//	ohmserve -worker -join http://host:8080   # lease cells from a coordinator
 //
 // Example session:
 //
@@ -19,8 +25,9 @@
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000002       # cancel
 //	curl -s localhost:8080/v1/experiments                     # registered drivers
 //
-// SIGINT/SIGTERM drains gracefully: intake stops, queued and running jobs
-// get -drain-timeout to finish, then whatever remains is cancelled.
+// SIGINT/SIGTERM drains gracefully: a coordinator stops intake and gives
+// queued and running jobs -drain-timeout to finish; a worker deregisters,
+// which requeues its in-flight cells on the coordinator immediately.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/config"
+	"repro/internal/dist"
 	"repro/internal/serve"
 )
 
@@ -48,6 +56,13 @@ func main() {
 	cellWorkers := flag.Int("cell-workers", def.CellWorkers, "process-wide concurrent simulations (0 = GOMAXPROCS)")
 	history := flag.Int("job-history", def.JobHistory, "finished jobs kept queryable before eviction")
 	drain := flag.Duration("drain-timeout", def.DrainTimeout, "graceful drain budget on SIGTERM")
+	leaseTTL := flag.Duration("lease-ttl", def.LeaseTTL, "cell lease lifetime without a worker heartbeat")
+	leasePoll := flag.Duration("lease-poll", def.LeasePoll, "worker lease long-poll bound")
+	localCells := flag.Int("local-cells", def.LocalCells, "cells the coordinator runs itself (0 = cell-workers, negative = dispatch only)")
+	worker := flag.Bool("worker", false, "run as a worker: lease cells from -join instead of serving jobs")
+	join := flag.String("join", "", "coordinator base URL for -worker mode, e.g. http://host:8080")
+	workerName := flag.String("worker-name", "", "worker label in coordinator logs (default: hostname)")
+	workerCap := flag.Int("worker-capacity", def.WorkerCapacity, "cells a worker runs concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var cache batch.Cache = batch.NewMemCache()
@@ -60,14 +75,30 @@ func main() {
 		cache = dc
 	}
 	runner := batch.NewRunner(*cellWorkers, cache)
+
+	if *worker {
+		runWorker(runner, *join, *workerName, *workerCap, *cacheDir)
+		return
+	}
+
+	dispatcher := dist.NewDispatcher(runner)
+	dispatcher.LeaseTTL = *leaseTTL
+	dispatcher.LeasePoll = *leasePoll
+	dispatcher.LocalSlots = *localCells
+
 	manager := serve.NewManager(runner, *jobWorkers, *queueDepth)
 	manager.Retain = *history
+	manager.Executor = dispatcher
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(manager)}
+	mux := http.NewServeMux()
+	dist.Register(mux, dispatcher)
+	mux.Handle("/", serve.NewHandler(manager))
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("ohmserve: listening on %s (cache=%s, job-workers=%d, queue=%d)",
-		*addr, cacheLabel(*cacheDir), *jobWorkers, *queueDepth)
+	log.Printf("ohmserve: listening on %s (cache=%s, job-workers=%d, queue=%d, lease-ttl=%s)",
+		*addr, cacheLabel(*cacheDir), *jobWorkers, *queueDepth, *leaseTTL)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -84,8 +115,39 @@ func main() {
 		log.Printf("ohmserve: http shutdown: %v", err)
 	}
 	manager.Shutdown(ctx)
+	dispatcher.Close()
 	st := runner.Stats()
-	log.Printf("ohmserve: drained (cache hits=%d shared=%d simulated=%d)", st.Hits, st.Shared, st.Misses)
+	ds := dispatcher.Stats()
+	log.Printf("ohmserve: drained (cache hits=%d shared=%d simulated=%d remote=%d requeued=%d stolen=%d)",
+		st.Hits, st.Shared, st.Misses, ds.RemoteCompleted, ds.Requeued, ds.Stolen)
+}
+
+// runWorker joins a coordinator and leases cells until SIGTERM, which
+// deregisters so in-flight cells requeue immediately.
+func runWorker(runner *batch.Runner, join, name string, capacity int, cacheDir string) {
+	if join == "" {
+		fmt.Fprintln(os.Stderr, "ohmserve: -worker requires -join <coordinator url>")
+		os.Exit(2)
+	}
+	if name == "" {
+		name, _ = os.Hostname()
+	}
+	w := &dist.Worker{
+		Coordinator: join,
+		Runner:      runner,
+		Capacity:    capacity,
+		Name:        name,
+		Logf:        log.Printf,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("ohmserve: worker %q joining %s (cache=%s, capacity=%d)",
+		name, join, cacheLabel(cacheDir), capacity)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatalf("ohmserve: worker: %v", err)
+	}
+	st := runner.Stats()
+	log.Printf("ohmserve: worker stopped (cache hits=%d simulated=%d)", st.Hits, st.Misses)
 }
 
 func cacheLabel(dir string) string {

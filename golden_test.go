@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The golden corpus pins the -quick output of every registered experiment
+// byte-for-byte: testdata/golden/<id>.json holds exactly the bytes
+// `ohmfig -quick -json <id>` prints — which are also exactly the bytes
+// the ohmserve daemon serves for the same job, whether the cells ran
+// in-process or on distributed workers (internal/dist's e2e test compares
+// against the same files). Any model change that alters a report shows up
+// here as a diff on a committed artifact instead of a silent drift.
+//
+// Regenerate after an intentional model change with:
+//
+//	go test -run TestGoldenReports -update-golden .
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden from the current simulator")
+
+func TestGoldenReports(t *testing.T) {
+	drivers := experiments.Drivers()
+	if len(drivers) == 0 {
+		t.Fatal("no registered experiments")
+	}
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Join("testdata", "golden"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, d := range drivers {
+		d := d
+		t.Run(d.ID, func(t *testing.T) {
+			// RunParams is the exact ohmfig -quick path; the package-level
+			// shared runner caches cells across drivers (figs 16-19
+			// overlap), so the whole corpus costs one sweep, not twenty.
+			res, err := d.RunParams(experiments.Params{Quick: true})
+			if err != nil {
+				t.Fatalf("run %s: %v", d.ID, err)
+			}
+			var buf bytes.Buffer
+			if err := experiments.EncodeResultJSON(&buf, d.ID, res); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", d.ID+".json")
+			if *updateGolden {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test -run TestGoldenReports -update-golden .`): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("%s drifted from its golden report (%d vs %d bytes).\n%s",
+					d.ID, buf.Len(), len(want), firstDiff(buf.Bytes(), want))
+			}
+		})
+	}
+}
+
+// firstDiff locates the first divergent byte for a readable failure.
+func firstDiff(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			hiG, hiW := i+60, i+60
+			if hiG > len(got) {
+				hiG = len(got)
+			}
+			if hiW > len(want) {
+				hiW = len(want)
+			}
+			return fmt.Sprintf("first diff at byte %d:\n got: …%s…\nwant: …%s…", i, got[lo:hiG], want[lo:hiW])
+		}
+	}
+	return fmt.Sprintf("one output is a prefix of the other (lengths %d vs %d)", len(got), len(want))
+}

@@ -1,0 +1,38 @@
+package batch
+
+import (
+	"context"
+
+	"repro/internal/stats"
+)
+
+// Executor runs a list of sweep cells to completion: reports are aligned
+// positionally with cells, progress (when non-nil) observes each completed
+// cell, and cancellation follows RunContext's contract. The in-process
+// Runner satisfies it through LocalExecutor; internal/dist satisfies it
+// with a coordinator that leases cells to remote worker processes. The
+// serving layer programs against this seam, so where cells execute is a
+// deployment decision, not an API one.
+type Executor interface {
+	RunContext(ctx context.Context, cells []Cell, progress Progress) ([]stats.Report, error)
+}
+
+// LocalExecutor is the in-process Executor: every cell runs on the wrapped
+// Runner's worker pool, sharing its result cache, concurrency cap and
+// single-flight table. It is the executor every deployment starts with and
+// the reference the distributed path must stay byte-identical to.
+type LocalExecutor struct {
+	*Runner
+}
+
+var _ Executor = LocalExecutor{}
+
+// RunCell resolves a single cell through the Runner's full machinery —
+// cache lookup, single-flight, the process-wide simulation semaphore —
+// and reports whether it was served without simulating here. It is the
+// per-cell entry point the distributed dispatcher uses for cells it
+// executes locally (closure-carrying cells can't be shipped, and the
+// coordinator may run cells itself alongside remote workers).
+func (r *Runner) RunCell(ctx context.Context, c Cell) (stats.Report, bool, error) {
+	return r.runCell(ctx, c)
+}

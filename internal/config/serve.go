@@ -29,6 +29,21 @@ type ServeConfig struct {
 	// DrainTimeout bounds the SIGTERM graceful drain: queued and running
 	// jobs get this long to finish before being cancelled.
 	DrainTimeout time.Duration
+
+	// LeaseTTL is how long a dispatched cell's lease survives without a
+	// worker heartbeat before the cell is requeued (coordinator mode).
+	LeaseTTL time.Duration
+	// LeasePoll bounds how long a worker's lease request long-polls at
+	// the coordinator before returning empty.
+	LeasePoll time.Duration
+	// LocalCells is how many cells the coordinator itself executes
+	// alongside remote workers: 0 means CellWorkers' resolution (a
+	// coordinator with no workers keeps full local throughput), negative
+	// makes the coordinator a pure dispatcher.
+	LocalCells int
+	// WorkerCapacity is how many leased cells a worker process runs
+	// concurrently (`ohmserve -worker`); <=0 means GOMAXPROCS.
+	WorkerCapacity int
 }
 
 // DefaultServe returns the daemon defaults.
@@ -41,5 +56,10 @@ func DefaultServe() ServeConfig {
 		CacheDir:     ".ohmserve-cache",
 		JobHistory:   512,
 		DrainTimeout: 30 * time.Second,
+
+		LeaseTTL:       15 * time.Second,
+		LeasePoll:      10 * time.Second,
+		LocalCells:     0,
+		WorkerCapacity: 0,
 	}
 }

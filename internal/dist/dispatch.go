@@ -1,0 +1,915 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/stats"
+)
+
+// Default protocol cadence. Tests shrink these aggressively; production
+// values only need to be small relative to a cell's simulation time.
+const (
+	DefaultLeaseTTL    = 15 * time.Second
+	DefaultLeasePoll   = 10 * time.Second
+	DefaultMaxAttempts = 3
+)
+
+// localHolder is the pseudo worker-id marking a cell executing on the
+// coordinator's own runner. Local leases never expire (the process that
+// would time them out is the process running them) and are never stolen.
+const localHolder = "local"
+
+// Dispatcher is the coordinator-side Executor: cells enter a FIFO queue,
+// registered workers lease them over HTTP and ship reports back, and the
+// coordinator's own runner optionally consumes from the same queue (so a
+// coordinator with no workers degrades to exactly the single-process
+// path). Leases carry deadlines; a worker that stops heartbeating has its
+// cells requeued, an idle worker may steal a long-running cell (duplicate
+// execution is safe — results are content-addressed and deterministic,
+// first completion wins), and every returned report is inserted into the
+// runner's cache so warm reruns answer locally no matter who computed
+// what.
+//
+// One Dispatcher serves every job in the process, which preserves the
+// single-flight guarantee across jobs: two jobs requesting the same cell
+// key share one task, one lease, one simulation.
+type Dispatcher struct {
+	// Runner supplies the shared result cache, the local execution slots
+	// and the closure fallback (cells carrying a RunFn cannot travel).
+	Runner *batch.Runner
+	// LeaseTTL is how long a lease survives without a heartbeat; 0 means
+	// DefaultLeaseTTL. Set before the first use.
+	LeaseTTL time.Duration
+	// LeasePoll bounds the lease long poll; 0 means DefaultLeasePoll.
+	LeasePoll time.Duration
+	// LocalSlots is how many cells the coordinator itself runs
+	// concurrently alongside remote workers: 0 means the runner's own
+	// worker count (standalone coordinators keep full local throughput),
+	// negative disables local execution (pure dispatch).
+	LocalSlots int
+	// MaxAttempts bounds lease grants per cell before the cell fails; 0
+	// means DefaultMaxAttempts. Expired leases and worker-reported errors
+	// both consume attempts.
+	MaxAttempts int
+	// StealAfter is how long a cell must be leased before an idle worker
+	// may steal a duplicate lease; 0 means LeaseTTL/2.
+	StealAfter time.Duration
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	closeCtx  context.Context    // cancelled by Close
+	closeStop context.CancelFunc // pairs with closeCtx
+	bg        sync.WaitGroup
+
+	mu      sync.Mutex
+	wake    chan struct{} // closed and replaced whenever pending grows
+	seq     uint64
+	wseq    uint64
+	workers map[string]*workerState
+	pending []*task
+	tasks   map[string]*task
+	byKey   map[string]*task
+
+	leased     atomic.Uint64
+	remoteDone atomic.Uint64
+	localDone  atomic.Uint64
+	cacheHits  atomic.Uint64
+	requeued   atomic.Uint64
+	stolen     atomic.Uint64
+	failed     atomic.Uint64
+}
+
+// workerState is the coordinator's view of one registered worker. (The
+// worker's advertised capacity shapes its own lease requests; the
+// coordinator does not track it.)
+type workerState struct {
+	id       string
+	name     string
+	lastSeen time.Time
+	leases   map[string]*task // task id -> task
+}
+
+// lease is one grant of a task to a holder.
+type lease struct {
+	deadline time.Time
+	granted  time.Time
+}
+
+// task is one cell awaiting a result, shared by every job that wants its
+// key (single-flight across jobs).
+type task struct {
+	id       string
+	key      string
+	cell     batch.Cell
+	attempts int
+	queued   bool
+	leases   map[string]lease // holder id -> lease
+	waiters  []waiter
+}
+
+// waiter is one (job, cell index) slot awaiting a task's result.
+type waiter struct {
+	call *callState
+	idx  int
+}
+
+// callState is one RunContext invocation in flight.
+type callState struct {
+	ctx      context.Context
+	reports  []stats.Report
+	errs     []error
+	progress batch.Progress
+
+	mu        sync.Mutex
+	completed int
+	total     int
+	wg        sync.WaitGroup
+}
+
+// resolve records one cell's outcome and feeds the progress callback.
+// Progress mirrors Runner.RunContext: serialized, done strictly
+// increasing, failed/abandoned cells never reported.
+func (c *callState) resolve(idx int, rep stats.Report, hit bool, err error) {
+	c.mu.Lock()
+	c.reports[idx] = rep
+	c.errs[idx] = err
+	if err == nil && c.progress != nil {
+		c.completed++
+		c.progress(c.completed, c.total, hit)
+	}
+	c.mu.Unlock()
+	c.wg.Done()
+}
+
+// NewDispatcher returns a Dispatcher executing on (and caching through)
+// the given runner. Tune the exported fields before first use.
+func NewDispatcher(r *batch.Runner) *Dispatcher {
+	ctx, stop := context.WithCancel(context.Background())
+	return &Dispatcher{
+		Runner:    r,
+		stopCh:    make(chan struct{}),
+		closeCtx:  ctx,
+		closeStop: stop,
+		wake:      make(chan struct{}),
+		workers:   make(map[string]*workerState),
+		tasks:     make(map[string]*task),
+		byKey:     make(map[string]*task),
+	}
+}
+
+func (d *Dispatcher) leaseTTL() time.Duration {
+	if d.LeaseTTL > 0 {
+		return d.LeaseTTL
+	}
+	return DefaultLeaseTTL
+}
+
+func (d *Dispatcher) leasePoll() time.Duration {
+	if d.LeasePoll > 0 {
+		return d.LeasePoll
+	}
+	return DefaultLeasePoll
+}
+
+func (d *Dispatcher) maxAttempts() int {
+	if d.MaxAttempts > 0 {
+		return d.MaxAttempts
+	}
+	return DefaultMaxAttempts
+}
+
+func (d *Dispatcher) stealAfter() time.Duration {
+	if d.StealAfter > 0 {
+		return d.StealAfter
+	}
+	return d.leaseTTL() / 2
+}
+
+// start launches the expiry scanner and the local consumers on first use.
+func (d *Dispatcher) start() {
+	d.startOnce.Do(func() {
+		slots := d.LocalSlots
+		if slots == 0 {
+			slots = d.Runner.Workers
+			if slots <= 0 {
+				slots = defaultLocalSlots()
+			}
+		}
+		for i := 0; i < slots; i++ {
+			d.bg.Add(1)
+			go d.localConsumer()
+		}
+		d.bg.Add(1)
+		go d.scanner()
+	})
+}
+
+// Close stops the background goroutines and fails every outstanding cell.
+// Jobs already draining resolve with ErrStopped. Local cells queued for a
+// simulation slot abort immediately; a cell already simulating runs to
+// completion first (the event core is not interruptible), exactly like
+// the in-process drain.
+func (d *Dispatcher) Close() {
+	d.start() // so bg.Wait below has matching Adds even if never used
+	d.stopOnce.Do(func() {
+		close(d.stopCh)
+		d.closeStop()
+		d.mu.Lock()
+		var resolves []func()
+		for id, t := range d.tasks {
+			t := t
+			delete(d.tasks, id)
+			delete(d.byKey, t.key)
+			for _, w := range t.waiters {
+				w := w
+				resolves = append(resolves, func() {
+					w.call.resolve(w.idx, stats.Report{}, false, ErrStopped)
+				})
+			}
+			t.waiters = nil
+		}
+		d.pending = nil
+		close(d.wake)
+		d.wake = make(chan struct{})
+		d.mu.Unlock()
+		for _, fn := range resolves {
+			fn()
+		}
+	})
+	d.bg.Wait()
+}
+
+// ErrStopped fails cells abandoned by Dispatcher.Close.
+var ErrStopped = fmt.Errorf("dist: dispatcher stopped")
+
+// Counters is a snapshot of dispatcher traffic: logged by ohmserve at
+// drain, asserted on by the fault-injection tests.
+type Counters struct {
+	Leased          uint64 `json:"leased"`
+	RemoteCompleted uint64 `json:"remote_completed"`
+	LocalCompleted  uint64 `json:"local_completed"`
+	CacheHits       uint64 `json:"cache_hits"`
+	Requeued        uint64 `json:"requeued"`
+	Stolen          uint64 `json:"stolen"`
+	Failed          uint64 `json:"failed"`
+}
+
+// Stats snapshots the counters.
+func (d *Dispatcher) Stats() Counters {
+	return Counters{
+		Leased:          d.leased.Load(),
+		RemoteCompleted: d.remoteDone.Load(),
+		LocalCompleted:  d.localDone.Load(),
+		CacheHits:       d.cacheHits.Load(),
+		Requeued:        d.requeued.Load(),
+		Stolen:          d.stolen.Load(),
+		Failed:          d.failed.Load(),
+	}
+}
+
+// WorkerCount reports how many workers are currently registered.
+func (d *Dispatcher) WorkerCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.workers)
+}
+
+var _ batch.Executor = (*Dispatcher)(nil)
+
+// RunContext executes cells with Runner.RunContext's contract: reports
+// positionally aligned, progress serialized, the error of the
+// lowest-indexed failing cell, drain-on-cancel. Cacheable closure-free
+// cells go through the distributed queue (local consumers and remote
+// workers race for them); cells carrying a RunFn closure execute on the
+// local runner, which is the only place the closure exists.
+func (d *Dispatcher) RunContext(ctx context.Context, cells []batch.Cell, progress batch.Progress) ([]stats.Report, error) {
+	d.start()
+	call := &callState{
+		ctx:      ctx,
+		reports:  make([]stats.Report, len(cells)),
+		errs:     make([]error, len(cells)),
+		progress: progress,
+		total:    len(cells),
+	}
+	call.wg.Add(len(cells))
+	for i := range cells {
+		c := cells[i]
+		if err := ctx.Err(); err != nil {
+			call.resolveSkip(i, err)
+			continue
+		}
+		if c.RunFn != nil {
+			// Closure cells can't be serialized; run them on the local
+			// runner, which still gives them the cache and single-flight
+			// (salted cells) or direct execution (unsalted).
+			go func(i int, c batch.Cell) {
+				rep, hit, err := d.Runner.RunCell(ctx, c)
+				call.resolve(i, rep, hit, err)
+			}(i, c)
+			continue
+		}
+		key, err := c.Key()
+		if err != nil {
+			call.resolveSkip(i, err)
+			continue
+		}
+		if rep, ok := d.cacheGet(key); ok {
+			d.cacheHits.Add(1)
+			call.resolve(i, rep, true, nil)
+			continue
+		}
+		d.submit(call, i, key, c)
+	}
+
+	done := make(chan struct{})
+	go func() { call.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Revoke this job's claim on every unfinished cell. Queued cells
+		// leave the queue; remotely leased cells have their leases
+		// revoked (the worker learns on its next heartbeat or complete);
+		// locally simulating cells run to completion in the background
+		// and still land in the cache — but nothing blocks on them.
+		d.detach(call)
+		<-done
+	}
+
+	for i, err := range call.errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: cell %d (%s): %w", i, cells[i], err)
+		}
+	}
+	return call.reports, nil
+}
+
+// resolveSkip records a cell that never dispatched (context already done,
+// unkeyable cell).
+func (c *callState) resolveSkip(idx int, err error) {
+	c.mu.Lock()
+	c.errs[idx] = err
+	c.mu.Unlock()
+	c.wg.Done()
+}
+
+// cacheGet reads the runner's cache if it has one.
+func (d *Dispatcher) cacheGet(key string) (stats.Report, bool) {
+	if d.Runner.Cache == nil {
+		return stats.Report{}, false
+	}
+	return d.Runner.Cache.Get(key)
+}
+
+// submit enqueues one cell, joining an existing task when another job is
+// already waiting on the same key.
+func (d *Dispatcher) submit(call *callState, idx int, key string, c batch.Cell) {
+	d.mu.Lock()
+	if t, ok := d.byKey[key]; ok {
+		t.waiters = append(t.waiters, waiter{call, idx})
+		d.mu.Unlock()
+		return
+	}
+	d.seq++
+	t := &task{
+		id:      fmt.Sprintf("cell-%08d", d.seq),
+		key:     key,
+		cell:    c,
+		queued:  true,
+		leases:  make(map[string]lease, 1),
+		waiters: []waiter{{call, idx}},
+	}
+	d.tasks[t.id] = t
+	d.byKey[key] = t
+	d.pending = append(d.pending, t)
+	d.wakeAllLocked()
+	d.mu.Unlock()
+}
+
+// wakeAllLocked signals everyone blocked on queue growth. Callers hold mu.
+func (d *Dispatcher) wakeAllLocked() {
+	close(d.wake)
+	d.wake = make(chan struct{})
+}
+
+// detach resolves every unfinished waiter of a cancelled call with the
+// context error. A task nobody waits on anymore is dropped: if it was
+// queued it leaves the queue, and if it was leased the lease is revoked —
+// the holding worker learns through its next heartbeat or completion,
+// whose report is then dropped (with the task gone there is no trusted
+// key left to admit it to the cache under). Cells the coordinator itself
+// is already simulating are the exception: they run to completion on the
+// local runner and land in the cache like the in-process drain.
+func (d *Dispatcher) detach(call *callState) {
+	err := call.ctx.Err()
+	if err == nil {
+		return
+	}
+	d.mu.Lock()
+	var resolves []waiter
+	for id, t := range d.tasks {
+		kept := t.waiters[:0]
+		for _, w := range t.waiters {
+			if w.call == call {
+				resolves = append(resolves, w)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		t.waiters = kept
+		if len(t.waiters) == 0 {
+			delete(d.tasks, id)
+			delete(d.byKey, t.key)
+			d.unqueueLocked(t)
+			for holder := range t.leases {
+				if w := d.workers[holder]; w != nil {
+					delete(w.leases, t.id)
+				}
+			}
+		}
+	}
+	d.mu.Unlock()
+	for _, w := range resolves {
+		w.call.resolve(w.idx, stats.Report{}, false, err)
+	}
+}
+
+// unqueueLocked splices a task out of the pending FIFO.
+func (d *Dispatcher) unqueueLocked(t *task) {
+	if !t.queued {
+		return
+	}
+	t.queued = false
+	for i, p := range d.pending {
+		if p == t {
+			d.pending = append(d.pending[:i], d.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// finalize completes a live task: it leaves every queue, its leases are
+// released, and each waiting job receives a private copy of the report.
+func (d *Dispatcher) finalize(t *task, rep stats.Report, hit bool, err error) {
+	d.mu.Lock()
+	if _, live := d.tasks[t.id]; !live {
+		d.mu.Unlock()
+		return
+	}
+	delete(d.tasks, t.id)
+	delete(d.byKey, t.key)
+	d.unqueueLocked(t)
+	for holder := range t.leases {
+		if w := d.workers[holder]; w != nil {
+			delete(w.leases, t.id)
+		}
+	}
+	ws := t.waiters
+	t.waiters = nil
+	d.mu.Unlock()
+
+	if err != nil {
+		d.failed.Add(1)
+		for _, w := range ws {
+			w.call.resolve(w.idx, stats.Report{}, false, err)
+		}
+		return
+	}
+	for i, w := range ws {
+		r := rep
+		if i > 0 {
+			// Later waiters get a decoded copy so concurrent jobs never
+			// alias one report's maps (the same rule Runner's
+			// single-flight path follows).
+			if cached, ok := d.cacheGet(t.key); ok {
+				r = cached
+			} else {
+				r = cloneReport(rep)
+			}
+		}
+		w.call.resolve(w.idx, r, hit, nil)
+	}
+}
+
+// cloneReport deep-copies a report via its JSON form (reports round-trip
+// losslessly — the cache depends on that already).
+func cloneReport(rep stats.Report) stats.Report {
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return rep
+	}
+	var out stats.Report
+	if err := json.Unmarshal(data, &out); err != nil {
+		return rep
+	}
+	return out
+}
+
+// putAndReload inserts a report under its key and returns the stored form,
+// so remotely computed and locally cached results are byte-identical (the
+// JSON round trip normalizes empty maps exactly like Runner.runCell).
+func (d *Dispatcher) putAndReload(key string, rep stats.Report) stats.Report {
+	if d.Runner.Cache == nil {
+		return rep
+	}
+	if err := d.Runner.Cache.Put(key, rep); err != nil {
+		return rep
+	}
+	if cached, ok := d.Runner.Cache.Get(key); ok {
+		return cached
+	}
+	return rep
+}
+
+// localConsumer pulls queued tasks and runs them on the coordinator's own
+// runner — the degenerate "cluster of one" path, and the safety net that
+// keeps jobs finishing when no worker ever joins.
+func (d *Dispatcher) localConsumer() {
+	defer d.bg.Done()
+	for {
+		t := d.takeLocal()
+		if t == nil {
+			return
+		}
+		// closeCtx, not a job context: a leased cell runs to completion
+		// (and lands in the cache) even if every waiting job is cancelled
+		// meanwhile — identical to the in-process drain semantics — but
+		// Close aborts cells still queued for a simulation slot.
+		rep, hit, err := d.Runner.RunCell(d.closeCtx, t.cell)
+		if err == nil {
+			d.localDone.Add(1)
+		}
+		d.finalize(t, rep, hit, err)
+	}
+}
+
+// takeLocal blocks until a task is available (leasing it to the local
+// holder) or the dispatcher stops.
+func (d *Dispatcher) takeLocal() *task {
+	for {
+		d.mu.Lock()
+		if len(d.pending) > 0 {
+			t := d.pending[0]
+			d.pending = d.pending[1:]
+			t.queued = false
+			t.attempts++
+			now := time.Now()
+			// Local execution cannot be lost with the coordinator alive,
+			// so the lease never expires.
+			t.leases[localHolder] = lease{deadline: now.Add(100 * 365 * 24 * time.Hour), granted: now}
+			d.mu.Unlock()
+			return t
+		}
+		ch := d.wake
+		d.mu.Unlock()
+		select {
+		case <-ch:
+		case <-d.stopCh:
+			return nil
+		}
+	}
+}
+
+// scanner expires leases, requeues orphaned cells and forgets workers
+// that stopped talking.
+func (d *Dispatcher) scanner() {
+	defer d.bg.Done()
+	tick := d.leaseTTL() / 4
+	if tick > time.Second {
+		tick = time.Second
+	}
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			d.sweepExpired(time.Now())
+		case <-d.stopCh:
+			return
+		}
+	}
+}
+
+// sweepExpired is one scanner pass.
+func (d *Dispatcher) sweepExpired(now time.Time) {
+	type failure struct {
+		t   *task
+		err error
+	}
+	var failures []failure
+	var resolves []waiter
+
+	d.mu.Lock()
+	// Workers silent for several lease lifetimes are gone: requeue
+	// everything they hold and drop them (a re-appearing worker simply
+	// re-registers).
+	for id, w := range d.workers {
+		if now.Sub(w.lastSeen) > 3*d.leaseTTL() {
+			for _, t := range w.leases {
+				delete(t.leases, id)
+			}
+			delete(d.workers, id)
+		}
+	}
+	for _, t := range d.tasks {
+		for holder, l := range t.leases {
+			if now.After(l.deadline) {
+				delete(t.leases, holder)
+				if w := d.workers[holder]; w != nil {
+					delete(w.leases, t.id)
+				}
+			}
+		}
+		if len(t.leases) == 0 && !t.queued {
+			f, rs := d.requeueLocked(t)
+			resolves = append(resolves, rs...)
+			if f != nil {
+				failures = append(failures, failure{t, f})
+			}
+		}
+	}
+	d.mu.Unlock()
+
+	for _, w := range resolves {
+		w.call.resolve(w.idx, stats.Report{}, false, w.call.ctx.Err())
+	}
+	for _, f := range failures {
+		d.finalize(f.t, stats.Report{}, false, f.err)
+	}
+}
+
+// requeueLocked puts an unleased, unqueued task back in the queue. It
+// first drops waiters whose job has been cancelled (returning them for
+// resolution outside the lock); a task nobody wants anymore is deleted,
+// and a task out of attempts is reported for failure. Callers hold mu.
+func (d *Dispatcher) requeueLocked(t *task) (failErr error, cancelled []waiter) {
+	kept := t.waiters[:0]
+	for _, w := range t.waiters {
+		if w.call.ctx.Err() != nil {
+			cancelled = append(cancelled, w)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	t.waiters = kept
+	if len(t.waiters) == 0 {
+		delete(d.tasks, t.id)
+		delete(d.byKey, t.key)
+		return nil, cancelled
+	}
+	if t.attempts >= d.maxAttempts() {
+		return fmt.Errorf("dist: cell failed after %d lease attempts (workers lost or cell erroring)", t.attempts), cancelled
+	}
+	d.requeued.Add(1)
+	t.queued = true
+	d.pending = append(d.pending, t)
+	d.wakeAllLocked()
+	return nil, cancelled
+}
+
+// --- worker-facing operations (driven by the HTTP handlers) ---
+
+// ErrUnknownWorker rejects calls naming an unregistered (or expired)
+// worker id; the worker's recovery is to re-register.
+var ErrUnknownWorker = fmt.Errorf("dist: unknown worker")
+
+// RegisterWorker admits a worker and returns its id plus the protocol
+// cadence.
+func (d *Dispatcher) RegisterWorker(name string, capacity int) RegisterResponse {
+	d.start()
+	_ = capacity // advertised for logs; lease requests carry the real bound
+	d.mu.Lock()
+	d.wseq++
+	id := fmt.Sprintf("w-%04d", d.wseq)
+	d.workers[id] = &workerState{
+		id:       id,
+		name:     name,
+		lastSeen: time.Now(),
+		leases:   make(map[string]*task),
+	}
+	d.mu.Unlock()
+	ttl := d.leaseTTL()
+	return RegisterResponse{
+		WorkerID:        id,
+		LeaseTTLMillis:  ttl.Milliseconds(),
+		HeartbeatMillis: (ttl / 3).Milliseconds(),
+	}
+}
+
+// Deregister removes a worker, requeuing everything it holds — the
+// graceful goodbye a SIGTERM'd worker sends so its in-flight cells
+// reschedule immediately instead of waiting out their leases.
+func (d *Dispatcher) Deregister(id string) error {
+	type failure struct {
+		t   *task
+		err error
+	}
+	var failures []failure
+	var resolves []waiter
+	d.mu.Lock()
+	w, ok := d.workers[id]
+	if !ok {
+		d.mu.Unlock()
+		return ErrUnknownWorker
+	}
+	delete(d.workers, id)
+	for _, t := range w.leases {
+		delete(t.leases, id)
+		if len(t.leases) == 0 && !t.queued {
+			f, rs := d.requeueLocked(t)
+			resolves = append(resolves, rs...)
+			if f != nil {
+				failures = append(failures, failure{t, f})
+			}
+		}
+	}
+	d.mu.Unlock()
+	for _, wt := range resolves {
+		wt.call.resolve(wt.idx, stats.Report{}, false, wt.call.ctx.Err())
+	}
+	for _, f := range failures {
+		d.finalize(f.t, stats.Report{}, false, f.err)
+	}
+	return nil
+}
+
+// Lease grants up to max pending cells to the worker. With the queue
+// empty it attempts to steal: a cell leased elsewhere for longer than
+// StealAfter gets a duplicate lease (capped at two holders), so an idle
+// worker shortens the tail of a sweep instead of idling behind a slow or
+// dying peer.
+func (d *Dispatcher) Lease(id string, max int) ([]WireCell, error) {
+	if max <= 0 {
+		max = 1
+	}
+	now := time.Now()
+	ttl := d.leaseTTL()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w, ok := d.workers[id]
+	if !ok {
+		return nil, ErrUnknownWorker
+	}
+	w.lastSeen = now
+	var out []WireCell
+	for len(out) < max && len(d.pending) > 0 {
+		t := d.pending[0]
+		d.pending = d.pending[1:]
+		t.queued = false
+		t.attempts++
+		t.leases[id] = lease{deadline: now.Add(ttl), granted: now}
+		w.leases[t.id] = t
+		d.leased.Add(1)
+		out = append(out, wireCell(t.id, t.key, t.cell))
+	}
+	if len(out) > 0 {
+		return out, nil
+	}
+	// Work stealing: nothing pending, so look for the longest-leased cell
+	// held only by other remote workers.
+	var victim *task
+	var oldest time.Time
+	for _, t := range d.tasks {
+		if t.queued || len(t.leases) == 0 || len(t.leases) >= 2 {
+			continue
+		}
+		if _, mine := t.leases[id]; mine {
+			continue
+		}
+		if _, local := t.leases[localHolder]; local {
+			continue
+		}
+		granted := time.Time{}
+		for _, l := range t.leases {
+			if granted.IsZero() || l.granted.Before(granted) {
+				granted = l.granted
+			}
+		}
+		if now.Sub(granted) < d.stealAfter() {
+			continue
+		}
+		if victim == nil || granted.Before(oldest) {
+			victim, oldest = t, granted
+		}
+	}
+	if victim != nil {
+		victim.leases[id] = lease{deadline: now.Add(ttl), granted: now}
+		w.leases[victim.id] = victim
+		d.leased.Add(1)
+		d.stolen.Add(1)
+		out = append(out, wireCell(victim.id, victim.key, victim.cell))
+	}
+	return out, nil
+}
+
+// Complete accepts one finished cell from a worker. The report is
+// inserted into the cache only after the claimed key is checked against
+// the dispatched task's key: the cache answers every future job without
+// re-simulating, so nothing unverifiable (unknown workers, dead tasks,
+// mismatched keys) may ever write to it.
+func (d *Dispatcher) Complete(id string, req CompleteRequest) (CompleteResponse, error) {
+	d.mu.Lock()
+	w, wok := d.workers[id]
+	if wok {
+		w.lastSeen = time.Now()
+		delete(w.leases, req.TaskID)
+	}
+	t, live := d.tasks[req.TaskID]
+	if live {
+		delete(t.leases, id)
+	}
+	d.mu.Unlock()
+	if !wok {
+		return CompleteResponse{}, ErrUnknownWorker
+	}
+	if !live {
+		// Lease long gone (cancelled, expired-and-refinished, stolen):
+		// without the task there is no trusted key to check the report
+		// against, so it is dropped, not cached.
+		return CompleteResponse{Accepted: false, Revoked: true}, nil
+	}
+
+	if req.Error != "" {
+		remoteErr := fmt.Errorf("dist: worker %s: %s", id, req.Error)
+		var fail bool
+		var resolves []waiter
+		d.mu.Lock()
+		// Only requeue/fail when no duplicate lease survives: with a
+		// stolen copy still running elsewhere, this failure may be the
+		// dying holder's, not the cell's.
+		if _, still := d.tasks[t.id]; still && !t.queued && len(t.leases) == 0 {
+			var f error
+			f, resolves = d.requeueLocked(t)
+			fail = f != nil
+		}
+		d.mu.Unlock()
+		for _, wt := range resolves {
+			wt.call.resolve(wt.idx, stats.Report{}, false, wt.call.ctx.Err())
+		}
+		if fail {
+			d.finalize(t, stats.Report{}, false, remoteErr)
+		}
+		return CompleteResponse{Accepted: true}, nil
+	}
+	if req.Report == nil {
+		return CompleteResponse{}, pathError("complete %s: neither report nor error", req.TaskID)
+	}
+	if req.Key != t.key {
+		// A worker answering with a different content address computed a
+		// different cell than we dispatched — version skew. Fail loudly,
+		// and above all do not let the report anywhere near the cache.
+		d.finalize(t, stats.Report{}, false,
+			pathError("worker %s returned key %.12s for cell keyed %.12s (binary version skew?)", id, req.Key, t.key))
+		return CompleteResponse{Accepted: false}, nil
+	}
+	norm := d.putAndReload(t.key, *req.Report)
+	d.remoteDone.Add(1)
+	d.finalize(t, norm, req.CacheHit, nil)
+	return CompleteResponse{Accepted: true}, nil
+}
+
+// Heartbeat marks the worker alive and extends the leases it still holds,
+// returning the ids whose leases are gone (cancelled or reassigned) so
+// the worker can abandon them.
+func (d *Dispatcher) Heartbeat(id string, taskIDs []string) ([]string, error) {
+	now := time.Now()
+	ttl := d.leaseTTL()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	w, ok := d.workers[id]
+	if !ok {
+		return nil, ErrUnknownWorker
+	}
+	w.lastSeen = now
+	var revoked []string
+	for _, tid := range taskIDs {
+		t, live := d.tasks[tid]
+		if !live {
+			revoked = append(revoked, tid)
+			continue
+		}
+		if _, mine := t.leases[id]; !mine {
+			revoked = append(revoked, tid)
+			continue
+		}
+		t.leases[id] = lease{deadline: now.Add(ttl), granted: t.leases[id].granted}
+	}
+	return revoked, nil
+}
+
+// WakeCh returns the channel closed on the next queue growth; the lease
+// long poll selects on it. Callers must treat it as single-use.
+func (d *Dispatcher) wakeCh() <-chan struct{} {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wake
+}

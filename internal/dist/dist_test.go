@@ -1,0 +1,462 @@
+package dist_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/config"
+	"repro/internal/dist"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// fakeRun is an instant deterministic RunFunc so protocol tests don't pay
+// for real simulations; the cell's identity is recoverable from the
+// report, which is what the byte-identity assertions compare.
+func fakeRun(cfg config.Config, workload string) (stats.Report, error) {
+	return stats.Report{
+		IPC:      float64(cfg.Platform)*10 + float64(len(workload)),
+		Elapsed:  sim.Time(cfg.MaxInstructions) * sim.Nanosecond,
+		EnergyPJ: map[string]float64{"laser": float64(cfg.Mode) + 1},
+		Extra:    map[string]float64{},
+	}, nil
+}
+
+// cluster is one coordinator: shared runner + dispatcher + job manager,
+// all behind a single httptest server carrying both the job API and the
+// worker protocol.
+type cluster struct {
+	t      *testing.T
+	runner *batch.Runner
+	d      *dist.Dispatcher
+	m      *serve.Manager
+	ts     *httptest.Server
+}
+
+// newCluster builds a coordinator. localSlots < 0 makes it a pure
+// dispatcher (every cell must travel to a worker); tune shrinks the
+// protocol timers per test.
+func newCluster(t *testing.T, localSlots int, tune func(*dist.Dispatcher)) *cluster {
+	t.Helper()
+	runner := batch.NewRunner(4, batch.NewMemCache())
+	runner.RunFn = fakeRun
+	d := dist.NewDispatcher(runner)
+	d.LocalSlots = localSlots
+	d.LeaseTTL = 500 * time.Millisecond
+	d.LeasePoll = 100 * time.Millisecond
+	if tune != nil {
+		tune(d)
+	}
+	m := serve.NewManager(runner, 2, 16)
+	m.Executor = d
+	mux := http.NewServeMux()
+	dist.Register(mux, d)
+	mux.Handle("/", serve.NewHandler(m))
+	ts := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+		d.Close()
+		ts.Close()
+	})
+	return &cluster{t: t, runner: runner, d: d, m: m, ts: ts}
+}
+
+// do issues one request against the coordinator API.
+func (c *cluster) do(method, path, body string) (int, []byte) {
+	c.t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.ts.URL+path, rd)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := c.ts.Client().Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+// submit posts a job body and returns the job id.
+func (c *cluster) submit(body string) string {
+	c.t.Helper()
+	code, data := c.do("POST", "/v1/sweeps", body)
+	if code != http.StatusAccepted {
+		c.t.Fatalf("submit: HTTP %d: %s", code, data)
+	}
+	var st serve.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		c.t.Fatal(err)
+	}
+	return st.ID
+}
+
+// wait polls a job until it reaches a terminal state.
+func (c *cluster) wait(id string, timeout time.Duration) serve.Status {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		code, data := c.do("GET", "/v1/jobs/"+id, "")
+		if code != http.StatusOK {
+			c.t.Fatalf("job %s: HTTP %d: %s", id, code, data)
+		}
+		var st serve.Status
+		if err := json.Unmarshal(data, &st); err != nil {
+			c.t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("job %s still %s after %s (%d/%d cells)", id, st.State, timeout, st.CellsDone, st.CellsTotal)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// result fetches a finished job's result bytes.
+func (c *cluster) result(id string) []byte {
+	c.t.Helper()
+	code, data := c.do("GET", "/v1/jobs/"+id+"/result", "")
+	if code != http.StatusOK {
+		c.t.Fatalf("result %s: HTTP %d: %s", id, code, data)
+	}
+	return data
+}
+
+// startWorker runs a real Worker against the cluster with its own runner
+// and cache; runFn nil means real simulations. The returned stop is the
+// graceful SIGTERM path (deregister → requeue).
+func startWorker(t *testing.T, url string, runFn batch.RunFunc, capacity int) (stop func()) {
+	t.Helper()
+	r := batch.NewRunner(capacity, batch.NewMemCache())
+	r.RunFn = runFn
+	w := &dist.Worker{Coordinator: url, Runner: r, Capacity: capacity, Name: "test-worker"}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(ctx)
+	}()
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cancel()
+		<-done
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// rawWorker drives the wire protocol by hand — the "worker that
+// misbehaves" every fault test needs.
+type rawWorker struct {
+	t   *testing.T
+	url string
+	id  string
+}
+
+func newRawWorker(t *testing.T, c *cluster) *rawWorker {
+	t.Helper()
+	w := &rawWorker{t: t, url: c.ts.URL}
+	var resp dist.RegisterResponse
+	w.post("/v1/workers/register", dist.RegisterRequest{Name: "raw", Capacity: 1}, &resp)
+	if resp.WorkerID == "" {
+		t.Fatal("raw worker: empty id")
+	}
+	w.id = resp.WorkerID
+	return w
+}
+
+func (w *rawWorker) post(path string, in, out interface{}) int {
+	w.t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	resp, err := http.Post(w.url+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			w.t.Fatalf("%s: decode %s: %v", path, data, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func (w *rawWorker) lease(max int) []dist.WireCell {
+	var resp dist.LeaseResponse
+	w.post("/v1/workers/"+w.id+"/lease", dist.LeaseRequest{Max: max}, &resp)
+	return resp.Cells
+}
+
+func (w *rawWorker) complete(req dist.CompleteRequest) dist.CompleteResponse {
+	var resp dist.CompleteResponse
+	w.post("/v1/workers/"+w.id+"/complete", req, &resp)
+	return resp
+}
+
+func (w *rawWorker) heartbeat(ids []string) dist.HeartbeatResponse {
+	var resp dist.HeartbeatResponse
+	w.post("/v1/workers/"+w.id+"/heartbeat", dist.HeartbeatRequest{TaskIDs: ids}, &resp)
+	return resp
+}
+
+// sixCells is a small sweep body expanding to 2 platforms x 3 workloads.
+const sixCells = `{"spec":{"platforms":["origin","ohm-bw"],"modes":["planar"],"workloads":["lud","bfsdata","pagerank"],"max_instructions":1000}}`
+
+// referenceBytes runs the same job on a plain single-process manager
+// (LocalExecutor, same fake RunFn) and returns its result bytes.
+func referenceBytes(t *testing.T, body string) []byte {
+	t.Helper()
+	runner := batch.NewRunner(4, batch.NewMemCache())
+	runner.RunFn = fakeRun
+	m := serve.NewManager(runner, 1, 8)
+	ts := httptest.NewServer(serve.NewHandler(m))
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	}()
+	c := &cluster{t: t, ts: ts, m: m, runner: runner}
+	id := c.submit(body)
+	if st := c.wait(id, 20*time.Second); st.State != serve.StateDone {
+		t.Fatalf("reference job: %s (%s)", st.State, st.Error)
+	}
+	return c.result(id)
+}
+
+// TestDistributedSweepMatchesSingleProcess is the core contract: a sweep
+// dispatched to two remote workers returns byte-identical results to the
+// single-process path, and a warm resubmit answers entirely from the
+// coordinator's cache.
+func TestDistributedSweepMatchesSingleProcess(t *testing.T) {
+	c := newCluster(t, -1, nil) // pure dispatch: every cell must travel
+	startWorker(t, c.ts.URL, fakeRun, 2)
+	startWorker(t, c.ts.URL, fakeRun, 2)
+
+	id := c.submit(sixCells)
+	st := c.wait(id, 30*time.Second)
+	if st.State != serve.StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	if st.Simulated == 0 {
+		t.Fatalf("expected fresh simulations on a cold cluster, got 0 (hits=%d)", st.CacheHits)
+	}
+	got := c.result(id)
+	want := referenceBytes(t, sixCells)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("distributed result differs from single-process:\n got: %s\nwant: %s", got, want)
+	}
+
+	// Warm resubmit: every cell answers from the coordinator cache — the
+	// workers are never consulted.
+	id2 := c.submit(sixCells)
+	st2 := c.wait(id2, 10*time.Second)
+	if st2.State != serve.StateDone {
+		t.Fatalf("warm job: %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Simulated != 0 {
+		t.Fatalf("warm resubmit simulated %d cells, want 0", st2.Simulated)
+	}
+	if got2 := c.result(id2); !bytes.Equal(got2, got) {
+		t.Fatal("warm resubmit bytes differ from cold run")
+	}
+}
+
+// TestDistributedFig16MatchesGolden runs the acceptance scenario with
+// real simulations: a fig16 -quick experiment dispatched to two workers
+// must be byte-identical to the committed golden report (which the
+// single-process golden test also pins).
+func TestDistributedFig16MatchesGolden(t *testing.T) {
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", "fig16.json"))
+	if err != nil {
+		t.Skipf("golden corpus not built yet: %v", err)
+	}
+	c := newCluster(t, -1, func(d *dist.Dispatcher) {
+		d.LeaseTTL = 10 * time.Second // real cells can take a while under -race
+	})
+	c.runner.RunFn = nil // real simulations end to end
+	startWorker(t, c.ts.URL, nil, 2)
+	startWorker(t, c.ts.URL, nil, 2)
+
+	id := c.submit(`{"experiment":"fig16","params":{"quick":true}}`)
+	st := c.wait(id, 5*time.Minute)
+	if st.State != serve.StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	if got := c.result(id); !bytes.Equal(got, golden) {
+		t.Fatalf("distributed fig16 differs from golden (%d vs %d bytes)", len(got), len(golden))
+	}
+}
+
+// TestSingleFlightAcrossJobsDistributed pins that two concurrent jobs
+// wanting the same cells share one task each: the worker simulates every
+// distinct cell exactly once.
+func TestSingleFlightAcrossJobsDistributed(t *testing.T) {
+	c := newCluster(t, -1, nil)
+	var sims atomic.Int64
+	counting := func(cfg config.Config, workload string) (stats.Report, error) {
+		sims.Add(1)
+		time.Sleep(5 * time.Millisecond)
+		return fakeRun(cfg, workload)
+	}
+
+	// Submit both jobs before any worker exists, so their cells are
+	// queued (and key-deduplicated) before execution starts.
+	id1 := c.submit(sixCells)
+	id2 := c.submit(sixCells)
+	startWorker(t, c.ts.URL, counting, 2)
+
+	st1, st2 := c.wait(id1, 30*time.Second), c.wait(id2, 30*time.Second)
+	if st1.State != serve.StateDone || st2.State != serve.StateDone {
+		t.Fatalf("jobs: %s/%s", st1.State, st2.State)
+	}
+	if got := sims.Load(); got != 6 {
+		t.Fatalf("worker simulated %d cells for two identical 6-cell jobs, want 6", got)
+	}
+	if r1, r2 := c.result(id1), c.result(id2); !bytes.Equal(r1, r2) {
+		t.Fatal("the two jobs' results differ")
+	}
+}
+
+// TestWorkStealing pins that an idle worker picks up a cell leased to a
+// stalled peer once StealAfter elapses, and that the stalled peer's late
+// completion is answered with a revocation instead of corrupting state.
+func TestWorkStealing(t *testing.T) {
+	c := newCluster(t, -1, func(d *dist.Dispatcher) {
+		d.LeaseTTL = 10 * time.Minute // expiry must not rescue the test
+		d.StealAfter = 50 * time.Millisecond
+	})
+	stalled := newRawWorker(t, c)
+
+	body := `{"spec":{"platforms":["origin"],"modes":["planar"],"workloads":["lud"],"max_instructions":1000}}`
+	id := c.submit(body)
+
+	// The stalled worker takes the only cell and sits on it.
+	var wc dist.WireCell
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if cells := stalled.lease(1); len(cells) > 0 {
+			wc = cells[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stalled worker never got the cell")
+		}
+	}
+
+	startWorker(t, c.ts.URL, fakeRun, 1)
+	st := c.wait(id, 30*time.Second)
+	if st.State != serve.StateDone {
+		t.Fatalf("job: %s (%s)", st.State, st.Error)
+	}
+	if got := c.d.Stats().Stolen; got < 1 {
+		t.Fatalf("expected at least one steal, got %d", got)
+	}
+	if !bytes.Equal(c.result(id), referenceBytes(t, body)) {
+		t.Fatal("stolen-cell result differs from single-process")
+	}
+
+	// The stalled worker finally answers: lease long gone, so the
+	// completion is flagged revoked and its report dropped (no live task
+	// key remains to verify it against).
+	rep, err := fakeRun(wc.Cell().Config, wc.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := stalled.complete(dist.CompleteRequest{TaskID: wc.TaskID, Key: wc.Key, Report: &rep})
+	if !resp.Revoked {
+		t.Fatalf("late completion should report a revoked lease, got %+v", resp)
+	}
+}
+
+// TestHealthzReportsWorkers pins the /v1/healthz worker gauge.
+func TestHealthzReportsWorkers(t *testing.T) {
+	c := newCluster(t, -1, nil)
+	code, data := c.do("GET", "/v1/healthz", "")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", code)
+	}
+	var h struct {
+		Workers *int `json:"workers_connected"`
+	}
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Workers == nil || *h.Workers != 0 {
+		t.Fatalf("workers_connected = %v, want 0", h.Workers)
+	}
+	newRawWorker(t, c)
+	_, data = c.do("GET", "/v1/healthz", "")
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Workers == nil || *h.Workers != 1 {
+		t.Fatalf("workers_connected = %v after register, want 1", h.Workers)
+	}
+}
+
+// TestWireCellRoundTrip pins that a cell survives the wire byte-for-byte:
+// the reconstructed cell produces the same content address.
+func TestWireCellRoundTrip(t *testing.T) {
+	spec := batch.SweepSpec{}
+	cells, err := spec.Cells() // the full default grid, all 140 cells
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range cells {
+		key, err := cell.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := json.Marshal(dist.WireCell{TaskID: "x", Key: key, Workload: cell.Workload,
+			WorkloadDef: cell.WorkloadDef, Salt: cell.Salt, Config: cell.Config})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back dist.WireCell
+		if err := json.Unmarshal(wire, &back); err != nil {
+			t.Fatal(err)
+		}
+		key2, err := back.Cell().Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key2 != key {
+			t.Fatalf("cell %s: key changed across the wire: %s -> %s", cell, key, key2)
+		}
+	}
+}

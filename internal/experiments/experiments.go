@@ -41,6 +41,11 @@ type Options struct {
 type Engine struct {
 	// Runner executes the cells; nil falls back to the shared runner.
 	Runner *batch.Runner
+	// Executor, when non-nil, runs cells instead of Runner.RunContext —
+	// the seam the ohmserve coordinator uses to fan experiment cells out
+	// to remote workers. Closure-carrying cells still execute wherever
+	// the executor keeps its local runner.
+	Executor batch.Executor
 	// Ctx cancels cell scheduling; nil means context.Background().
 	Ctx context.Context
 	// Progress observes per-cell completions of every batch the driver
@@ -74,13 +79,16 @@ func (o Options) exec(cells []batch.Cell) ([]stats.Report, error) {
 	if eng == nil {
 		return sharedRunner.Run(cells)
 	}
-	runner := eng.Runner
-	if runner == nil {
-		runner = sharedRunner
-	}
 	ctx := eng.Ctx
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if eng.Executor != nil {
+		return eng.Executor.RunContext(ctx, cells, eng.Progress)
+	}
+	runner := eng.Runner
+	if runner == nil {
+		runner = sharedRunner
 	}
 	return runner.RunContext(ctx, cells, eng.Progress)
 }

@@ -120,6 +120,20 @@ func NewHandler(m *Manager) http.Handler {
 // spec, far below what giant repeated-axis lists need to stress expansion.
 const maxSubmitBytes = 4 << 20
 
+// ReasonJobCancelled is the machine-readable reason a cancelled job's
+// result endpoint returns (resultUnavailable.Reason).
+const ReasonJobCancelled = "job_cancelled"
+
+// resultUnavailable is the structured body of GET /v1/jobs/{id}/result
+// when the job reached a terminal state without a result. Error keeps the
+// human sentence every other error body carries; State and Reason are for
+// scripts.
+type resultUnavailable struct {
+	Error  string `json:"error"`
+	State  State  `json:"state"`
+	Reason string `json:"reason"`
+}
+
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
@@ -154,7 +168,14 @@ func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "job failed: %s", st.Error)
 		return
 	case StateCancelled:
-		writeError(w, http.StatusGone, "job was cancelled")
+		// A cancelled job has no result by design, not by failure: answer
+		// 410 with a machine-readable envelope so clients can branch on
+		// the reason instead of string-matching a generic error body.
+		writeJSON(w, http.StatusGone, resultUnavailable{
+			Error:  fmt.Sprintf("job %s was cancelled; no result was produced", st.ID),
+			State:  st.State,
+			Reason: ReasonJobCancelled,
+		})
 		return
 	default:
 		// Not finished: answer with the status so pollers can reuse the

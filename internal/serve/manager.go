@@ -212,6 +212,13 @@ type Manager struct {
 	// evicted. Set before the first Submit.
 	Retain int
 
+	// Executor runs every job's cells; nil means the in-process
+	// batch.LocalExecutor over the shared runner. cmd/ohmserve installs
+	// the dist.Dispatcher here so cells fan out to remote workers while
+	// job semantics (progress, cancel, drain) stay identical. Set before
+	// the first Submit.
+	Executor batch.Executor
+
 	baseCtx context.Context
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
@@ -263,6 +270,14 @@ func NewManager(runner *batch.Runner, workers, queueDepth int) *Manager {
 // Runner returns the shared engine (for surfacing cache stats).
 func (m *Manager) Runner() *batch.Runner { return m.runner }
 
+// executor resolves the cell executor, defaulting to in-process.
+func (m *Manager) executor() batch.Executor {
+	if m.Executor != nil {
+		return m.Executor
+	}
+	return batch.LocalExecutor{Runner: m.runner}
+}
+
 // Health is the liveness snapshot served by GET /v1/healthz: deployments
 // probe it to decide whether the daemon is up and how loaded it is.
 type Health struct {
@@ -272,6 +287,9 @@ type Health struct {
 	JobsRunning   int     `json:"jobs_running"`
 	QueueCapacity int     `json:"queue_capacity"`
 	Draining      bool    `json:"draining"`
+	// WorkersConnected counts registered remote workers when the manager
+	// executes through a distributing executor; absent otherwise.
+	WorkersConnected *int `json:"workers_connected,omitempty"`
 }
 
 // Health snapshots queue depth, running jobs and uptime.
@@ -293,6 +311,10 @@ func (m *Manager) Health() Health {
 		if m.jobs[id].Status().State == StateRunning {
 			h.JobsRunning++
 		}
+	}
+	if wc, ok := m.Executor.(interface{ WorkerCount() int }); ok {
+		n := wc.WorkerCount()
+		h.WorkersConnected = &n
 	}
 	return h
 }
@@ -450,7 +472,7 @@ func (m *Manager) run(job *Job) {
 			job.cellsTotal = len(cells)
 			job.mu.Unlock()
 			var reports []stats.Report
-			reports, err = m.runner.RunContext(ctx, cells, progress)
+			reports, err = m.executor().RunContext(ctx, cells, progress)
 			if err == nil {
 				job.mu.Lock()
 				job.cells, job.reports = cells, reports
@@ -460,7 +482,7 @@ func (m *Manager) run(job *Job) {
 	} else {
 		d, _ := experiments.Lookup(job.req.Experiment) // validated at submit
 		o := job.req.Params.Options()
-		o.Engine = &experiments.Engine{Runner: m.runner, Ctx: ctx, Progress: progress}
+		o.Engine = &experiments.Engine{Runner: m.runner, Executor: m.executor(), Ctx: ctx, Progress: progress}
 		var res experiments.Result
 		res, err = d.Run(o, job.req.Params.AblWorkload())
 		if err == nil {

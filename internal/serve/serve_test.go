@@ -275,6 +275,47 @@ func TestCancelRunningAndQueuedJobs(t *testing.T) {
 	}
 }
 
+// TestCancelledResultBody is the regression test for the cancelled-job
+// result endpoint: 410 must carry a machine-readable {state, reason}
+// envelope (plus the human error sentence), not a generic error body that
+// clients have to string-match.
+func TestCancelledResultBody(t *testing.T) {
+	// A queued job cancelled before running is the clean repro: no result
+	// was ever produced.
+	var calls atomic.Int64
+	gr, started, release := gatedRunner(1, &calls)
+	b := newAPI(t, gr, 1, 8)
+	blocker := b.submit(`{"spec":{"platforms":["ohm-base"],"modes":["planar"],"workloads":["lud"]}}`)
+	<-started
+	victim := b.submit(`{"spec":{"platforms":["oracle"],"modes":["planar"],"workloads":["lud"]}}`)
+	if code, data := b.do("DELETE", "/v1/jobs/"+victim, ""); code != http.StatusOK {
+		t.Fatalf("cancel = %d: %s", code, data)
+	}
+	code, data := b.do("GET", "/v1/jobs/"+victim+"/result", "")
+	if code != http.StatusGone {
+		t.Fatalf("cancelled result = %d, want 410: %s", code, data)
+	}
+	var body struct {
+		Error  string `json:"error"`
+		State  State  `json:"state"`
+		Reason string `json:"reason"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("cancelled result body is not the structured envelope: %v (%s)", err, data)
+	}
+	if body.State != StateCancelled {
+		t.Fatalf("body.state = %q, want %q", body.State, StateCancelled)
+	}
+	if body.Reason != ReasonJobCancelled {
+		t.Fatalf("body.reason = %q, want %q", body.Reason, ReasonJobCancelled)
+	}
+	if !strings.Contains(body.Error, victim) {
+		t.Fatalf("body.error %q does not name the job", body.Error)
+	}
+	close(release)
+	b.wait(blocker)
+}
+
 // TestTwoJobsShareOneSimulation: two concurrent jobs requesting the same
 // cell must simulate it once — the single-flight guarantee across jobs.
 func TestTwoJobsShareOneSimulation(t *testing.T) {

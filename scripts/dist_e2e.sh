@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Real-process distributed e2e for the ohmserve coordinator/worker
+# protocol. Spins one coordinator (pure dispatcher: -local-cells -1, so
+# every cell MUST travel) and two worker processes, then asserts the
+# acceptance criteria end to end:
+#
+#   1. a fig16 -quick experiment dispatched across both workers returns
+#      bytes identical to `ohmfig -quick -json fig16`;
+#   2. a warm resubmit reports 0 fresh simulations;
+#   3. kill -9 on one worker mid-sweep still completes the job, with the
+#      result byte-identical to a single-process `ohmbatch` run.
+#
+# CI runs this; it also works locally: scripts/dist_e2e.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+work=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$work/ohmserve" ./cmd/ohmserve
+go build -o "$work/ohmfig" ./cmd/ohmfig
+go build -o "$work/ohmbatch" ./cmd/ohmbatch
+
+addr="127.0.0.1:18099"
+base="http://$addr"
+
+echo "== starting coordinator ($addr, pure dispatch)"
+"$work/ohmserve" -addr "$addr" -cache "$work/coord-cache" -local-cells -1 \
+    -lease-ttl 3s -lease-poll 2s >"$work/coord.log" 2>&1 &
+pids+=($!)
+
+for _ in $(seq 1 100); do
+    curl -fsS "$base/v1/healthz" >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS "$base/v1/healthz" >/dev/null
+
+echo "== starting 2 workers"
+"$work/ohmserve" -worker -join "$base" -worker-name w1 -cache "$work/w1-cache" >"$work/w1.log" 2>&1 &
+w1=$!
+pids+=($w1)
+"$work/ohmserve" -worker -join "$base" -worker-name w2 -cache "$work/w2-cache" >"$work/w2.log" 2>&1 &
+pids+=($!)
+
+# submit <json-body> -> job id
+submit() {
+    curl -fsS -X POST "$base/v1/sweeps" -d "$1" |
+        python3 -c 'import sys,json; print(json.load(sys.stdin)["id"])'
+}
+# field <job> <field> -> value
+field() {
+    curl -fsS "$base/v1/jobs/$1" |
+        python3 -c "import sys,json; print(json.load(sys.stdin)[\"$2\"])"
+}
+# wait_done <job> <timeout-seconds>
+wait_done() {
+    local job=$1 budget=$2 state
+    for _ in $(seq 1 $((budget * 5))); do
+        state=$(field "$job" state)
+        case "$state" in
+        done) return 0 ;;
+        failed | cancelled)
+            echo "job $job ended $state" >&2
+            curl -fsS "$base/v1/jobs/$job" >&2 || true
+            return 1
+            ;;
+        esac
+        sleep 0.2
+    done
+    echo "job $job timed out" >&2
+    return 1
+}
+
+echo "== 1. fig16 -quick across 2 workers vs ohmfig"
+job=$(submit '{"experiment":"fig16","params":{"quick":true}}')
+wait_done "$job" 300
+curl -fsS "$base/v1/jobs/$job/result" >"$work/fig16.dist.json"
+"$work/ohmfig" -quick -json fig16 >"$work/fig16.local.json"
+cmp "$work/fig16.dist.json" "$work/fig16.local.json"
+echo "   byte-identical ($(wc -c <"$work/fig16.dist.json") bytes)"
+
+echo "== 2. warm resubmit answers from the coordinator cache"
+job=$(submit '{"experiment":"fig16","params":{"quick":true}}')
+wait_done "$job" 120
+simulated=$(field "$job" simulated)
+if [ "$simulated" != "0" ]; then
+    echo "warm resubmit simulated $simulated cells, want 0" >&2
+    exit 1
+fi
+curl -fsS "$base/v1/jobs/$job/result" | cmp - "$work/fig16.local.json"
+echo "   0 fresh simulations, bytes identical"
+
+echo "== 3. kill -9 one worker mid-sweep"
+spec='{"platforms":["origin","ohm-base","ohm-bw"],"modes":["planar"],"workloads":["lud","bfsdata","pagerank"],"max_instructions":3500}'
+job=$(submit "{\"spec\":$spec}")
+# Let the sweep get going, then hard-kill w1 (no deregister, no
+# heartbeat): its leases must expire and the cells requeue onto w2.
+sleep 1
+kill -9 "$w1" 2>/dev/null || true
+wait_done "$job" 300
+curl -fsS "$base/v1/jobs/$job/result" >"$work/killed.dist.json"
+echo "$spec" >"$work/kill.spec.json"
+"$work/ohmbatch" -spec "$work/kill.spec.json" -cache "$work/batch-cache" -q -o "$work/killed.local.json"
+cmp "$work/killed.dist.json" "$work/killed.local.json"
+echo "   job survived the kill; bytes identical to ohmbatch"
+
+echo "== distributed e2e OK"
