@@ -13,6 +13,7 @@
 //	ohmserve                                  # listen on :8080, disk cache
 //	ohmserve -addr :9090 -cache '' -job-workers 4
 //	ohmserve -worker -join http://host:8080   # lease cells from a coordinator
+//	ohmserve -log-json -pprof 127.0.0.1:6060  # machine logs + profiling
 //
 // Example session:
 //
@@ -24,6 +25,12 @@
 //	curl -s localhost:8080/v1/jobs/job-000002/result?format=csv
 //	curl -s -X DELETE localhost:8080/v1/jobs/job-000002       # cancel
 //	curl -s localhost:8080/v1/experiments                     # registered drivers
+//	curl -s localhost:8080/metrics                            # Prometheus exposition
+//
+// Observability: structured logs (key=value, or JSON with -log-json) go to
+// stderr; GET /metrics serves the Prometheus text exposition (coordinators
+// on the API address, workers on -metrics-addr); -pprof starts a
+// net/http/pprof listener in either mode.
 //
 // SIGINT/SIGTERM drains gracefully: a coordinator stops intake and gives
 // queued and running jobs -drain-timeout to finish; a worker deregisters,
@@ -35,7 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +51,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -63,13 +71,34 @@ func main() {
 	join := flag.String("join", "", "coordinator base URL for -worker mode, e.g. http://host:8080")
 	workerName := flag.String("worker-name", "", "worker label in coordinator logs (default: hostname)")
 	workerCap := flag.Int("worker-capacity", def.WorkerCapacity, "cells a worker runs concurrently (0 = GOMAXPROCS)")
+	pprofAddr := flag.String("pprof", def.PprofAddr, "net/http/pprof listen address (empty = disabled)")
+	metricsAddr := flag.String("metrics-addr", def.MetricsAddr, "standalone /metrics listen address (worker mode; coordinators serve /metrics on -addr)")
+	logLevel := flag.String("log-level", def.LogLevel, "minimum log level: debug, info, warn, error")
+	logJSON := flag.Bool("log-json", def.LogJSON, "emit logs as JSON lines instead of key=value text")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ohmserve: %v\n", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level, *logJSON)
+
+	if *pprofAddr != "" {
+		bound, stopPprof, err := obs.StartPprof(*pprofAddr)
+		if err != nil {
+			logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			os.Exit(1)
+		}
+		defer stopPprof()
+		logger.Info("pprof listening", "addr", bound)
+	}
 
 	var cache batch.Cache = batch.NewMemCache()
 	if *cacheDir != "" {
 		dc, err := batch.NewDiskCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ohmserve: %v\n", err)
+			logger.Error("cache init failed", "err", err)
 			os.Exit(1)
 		}
 		cache = dc
@@ -77,7 +106,7 @@ func main() {
 	runner := batch.NewRunner(*cellWorkers, cache)
 
 	if *worker {
-		runWorker(runner, *join, *workerName, *workerCap, *cacheDir)
+		runWorker(logger, runner, *join, *workerName, *workerCap, *cacheDir, *metricsAddr)
 		return
 	}
 
@@ -85,46 +114,54 @@ func main() {
 	dispatcher.LeaseTTL = *leaseTTL
 	dispatcher.LeasePoll = *leasePoll
 	dispatcher.LocalSlots = *localCells
+	dispatcher.Logger = logger
 
 	manager := serve.NewManager(runner, *jobWorkers, *queueDepth)
 	manager.Retain = *history
 	manager.Executor = dispatcher
+	manager.Logger = logger
 
 	mux := http.NewServeMux()
 	dist.Register(mux, dispatcher)
 	mux.Handle("/", serve.NewHandler(manager))
 
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	// Instrument wraps the combined mux exactly once, at the edge, so the
+	// API and the worker protocol share one set of HTTP metrics and one
+	// access log without double counting.
+	srv := &http.Server{Addr: *addr, Handler: serve.Instrument(logger, mux)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("ohmserve: listening on %s (cache=%s, job-workers=%d, queue=%d, lease-ttl=%s)",
-		*addr, cacheLabel(*cacheDir), *jobWorkers, *queueDepth, *leaseTTL)
+	logger.Info("ohmserve listening",
+		"addr", *addr, "cache", cacheLabel(*cacheDir),
+		"job_workers", *jobWorkers, "queue", *queueDepth, "lease_ttl", leaseTTL.String())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		log.Printf("ohmserve: %v received, draining (budget %s)", s, *drain)
+		logger.Info("signal received, draining", "signal", s.String(), "budget", drain.String())
 	case err := <-errCh:
-		log.Fatalf("ohmserve: %v", err)
+		logger.Error("server failed", "err", err)
+		os.Exit(1)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("ohmserve: http shutdown: %v", err)
+		logger.Warn("http shutdown", "err", err)
 	}
 	manager.Shutdown(ctx)
 	dispatcher.Close()
 	st := runner.Stats()
 	ds := dispatcher.Stats()
-	log.Printf("ohmserve: drained (cache hits=%d shared=%d simulated=%d remote=%d requeued=%d stolen=%d)",
-		st.Hits, st.Shared, st.Misses, ds.RemoteCompleted, ds.Requeued, ds.Stolen)
+	logger.Info("ohmserve drained",
+		"cache_hits", st.Hits, "shared", st.Shared, "simulated", st.Misses,
+		"remote", ds.RemoteCompleted, "requeued", ds.Requeued, "stolen", ds.Stolen)
 }
 
 // runWorker joins a coordinator and leases cells until SIGTERM, which
 // deregisters so in-flight cells requeue immediately.
-func runWorker(runner *batch.Runner, join, name string, capacity int, cacheDir string) {
+func runWorker(logger *slog.Logger, runner *batch.Runner, join, name string, capacity int, cacheDir, metricsAddr string) {
 	if join == "" {
 		fmt.Fprintln(os.Stderr, "ohmserve: -worker requires -join <coordinator url>")
 		os.Exit(2)
@@ -132,22 +169,42 @@ func runWorker(runner *batch.Runner, join, name string, capacity int, cacheDir s
 	if name == "" {
 		name, _ = os.Hostname()
 	}
+	if metricsAddr != "" {
+		// Workers have no API listener, so /metrics (plus a trivial
+		// liveness probe) gets its own.
+		mmux := http.NewServeMux()
+		mmux.Handle("GET /metrics", obs.Handler())
+		mmux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintln(w, `{"status":"ok"}`)
+		})
+		msrv := &http.Server{Addr: metricsAddr, Handler: mmux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("metrics listener failed", "addr", metricsAddr, "err", err)
+			}
+		}()
+		defer msrv.Close()
+		logger.Info("worker metrics listening", "addr", metricsAddr)
+	}
 	w := &dist.Worker{
 		Coordinator: join,
 		Runner:      runner,
 		Capacity:    capacity,
 		Name:        name,
-		Logf:        log.Printf,
+		Logger:      logger,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("ohmserve: worker %q joining %s (cache=%s, capacity=%d)",
-		name, join, cacheLabel(cacheDir), capacity)
+	logger.Info("worker joining",
+		obs.KeyWorker, name, "coordinator", join,
+		"cache", cacheLabel(cacheDir), "capacity", capacity)
 	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
-		log.Fatalf("ohmserve: worker: %v", err)
+		logger.Error("worker failed", "err", err)
+		os.Exit(1)
 	}
 	st := runner.Stats()
-	log.Printf("ohmserve: worker stopped (cache hits=%d simulated=%d)", st.Hits, st.Misses)
+	logger.Info("worker stopped", "cache_hits", st.Hits, "simulated", st.Misses)
 }
 
 func cacheLabel(dir string) string {

@@ -5,9 +5,13 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/stats"
 )
@@ -67,8 +71,9 @@ type Cache interface {
 // overlapping figures (16-19 visit many of the same cells) run each cell
 // once per process.
 type MemCache struct {
-	mu sync.RWMutex
-	m  map[string][]byte
+	mu    sync.RWMutex
+	m     map[string][]byte
+	bytes int64
 }
 
 // NewMemCache returns an empty in-memory cache.
@@ -86,6 +91,7 @@ func (c *MemCache) Get(key string) (stats.Report, bool) {
 	}
 	var rep stats.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
+		mCacheCorrupt.Inc()
 		return stats.Report{}, false
 	}
 	return rep, true
@@ -98,8 +104,14 @@ func (c *MemCache) Put(key string, rep stats.Report) error {
 		return err
 	}
 	c.mu.Lock()
+	old, existed := c.m[key]
 	c.m[key] = data
+	c.bytes += int64(len(data) - len(old))
 	c.mu.Unlock()
+	if !existed {
+		mCacheEntries.Inc()
+	}
+	mCacheBytes.Add(int64(len(data) - len(old)))
 	return nil
 }
 
@@ -110,20 +122,45 @@ func (c *MemCache) Len() int {
 	return len(c.m)
 }
 
+// CacheStats reports the cache's entry count and stored bytes.
+func (c *MemCache) CacheStats() CacheStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return CacheStats{Entries: int64(len(c.m)), Bytes: c.bytes}
+}
+
 // DiskCache is the on-disk result cache: one JSON file per cell, named by
 // its content address, sharded by the key's first byte to keep directories
 // small. Writes go through a temp file + rename so a crashed run never
 // leaves a torn entry.
 type DiskCache struct {
 	Dir string
+
+	entries atomic.Int64
+	bytes   atomic.Int64
 }
 
-// NewDiskCache opens (creating if needed) a cache rooted at dir.
+// NewDiskCache opens (creating if needed) a cache rooted at dir. Opening
+// scans the directory once so entry and byte counts reflect results kept
+// warm from earlier runs, not just this process's writes.
 func NewDiskCache(dir string) (*DiskCache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("batch: cache dir: %w", err)
 	}
-	return &DiskCache{Dir: dir}, nil
+	c := &DiskCache{Dir: dir}
+	_ = filepath.WalkDir(dir, func(_ string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			c.entries.Add(1)
+			c.bytes.Add(info.Size())
+		}
+		return nil
+	})
+	mCacheEntries.Add(c.entries.Load())
+	mCacheBytes.Add(c.bytes.Load())
+	return c, nil
 }
 
 func (c *DiskCache) path(key string) string {
@@ -132,12 +169,15 @@ func (c *DiskCache) path(key string) string {
 
 // Get loads a cached report; a missing or unreadable entry is a miss.
 func (c *DiskCache) Get(key string) (stats.Report, bool) {
+	start := time.Now()
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		return stats.Report{}, false
 	}
+	mCacheReadSeconds.ObserveDuration(time.Since(start))
 	var rep stats.Report
 	if err := json.Unmarshal(data, &rep); err != nil {
+		mCacheCorrupt.Inc()
 		return stats.Report{}, false
 	}
 	return rep, true
@@ -149,6 +189,7 @@ func (c *DiskCache) Put(key string, rep stats.Report) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return err
@@ -166,5 +207,30 @@ func (c *DiskCache) Put(key string, rep stats.Report) error {
 		os.Remove(tmp.Name())
 		return err
 	}
-	return os.Rename(tmp.Name(), p)
+	// Replacing an entry swaps bytes; a fresh key adds an entry. Sized
+	// before the rename so the delta is exact even under concurrent Puts
+	// of distinct keys (same-key concurrent Puts write identical bytes —
+	// results are content-addressed — so any interleaving still balances).
+	var oldSize, delta int64
+	fresh := true
+	if info, err := os.Stat(p); err == nil {
+		oldSize, fresh = info.Size(), false
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		return err
+	}
+	delta = int64(len(data)) - oldSize
+	c.bytes.Add(delta)
+	mCacheBytes.Add(delta)
+	if fresh {
+		c.entries.Add(1)
+		mCacheEntries.Inc()
+	}
+	mCacheWriteSeconds.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// CacheStats reports the cache's entry count and file bytes on disk.
+func (c *DiskCache) CacheStats() CacheStats {
+	return CacheStats{Entries: c.entries.Load(), Bytes: c.bytes.Load()}
 }

@@ -3,6 +3,7 @@ package batch
 import (
 	"context"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -34,5 +35,14 @@ var _ Executor = LocalExecutor{}
 // executes locally (closure-carrying cells can't be shipped, and the
 // coordinator may run cells itself alongside remote workers).
 func (r *Runner) RunCell(ctx context.Context, c Cell) (stats.Report, bool, error) {
+	rep, hit, _, err := r.runCell(ctx, c)
+	return rep, hit, err
+}
+
+// RunCellTimed is RunCell plus the cell's phase split — zero when the
+// cell was served from cache, joined an in-flight simulation or ran an
+// opaque custom RunFn. Remote workers use it to ship the breakdown back
+// to the coordinator with the result.
+func (r *Runner) RunCellTimed(ctx context.Context, c Cell) (stats.Report, bool, obs.Phases, error) {
 	return r.runCell(ctx, c)
 }

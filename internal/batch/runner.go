@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -95,16 +97,23 @@ func (r *Runner) workers() int {
 // acquire takes one process-wide simulation slot; cancellation while
 // queued for a slot abandons the cell without simulating.
 func (r *Runner) acquire(ctx context.Context) error {
-	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.workers()) })
+	r.semOnce.Do(func() {
+		r.sem = make(chan struct{}, r.workers())
+		mSimSlots.Add(int64(r.workers()))
+	})
 	select {
 	case r.sem <- struct{}{}:
+		mActiveSims.Inc()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
 }
 
-func (r *Runner) release() { <-r.sem }
+func (r *Runner) release() {
+	mActiveSims.Dec()
+	<-r.sem
+}
 
 // Progress observes cell completions during RunContext: done counts cells
 // resolved so far out of total, and hit reports whether this cell came from
@@ -156,7 +165,7 @@ func (r *Runner) RunContext(ctx context.Context, cells []Cell, progress Progress
 			errs[i] = err
 			return
 		}
-		rep, hit, err := r.runCell(ctx, cells[i])
+		rep, hit, _, err := r.runCell(ctx, cells[i])
 		reports[i], errs[i] = rep, err
 		if err == nil {
 			note(hit)
@@ -198,25 +207,49 @@ func (r *Runner) RunContext(ctx context.Context, cells []Cell, progress Progress
 	return reports, nil
 }
 
-// runCell resolves one cell: cache lookup, then single-flight simulation,
-// then store. The bool result reports whether the cell was served without
-// simulating here (cache hit or shared in-flight result).
-func (r *Runner) runCell(ctx context.Context, c Cell) (stats.Report, bool, error) {
+// runCell resolves one cell and accounts for it: wall time and the
+// hit/miss outcome feed the process metrics, and when the context carries
+// a job span (the serving layer attaches one per job) the cell's timing
+// folds into that job's breakdown. Phase timings are returned so remote
+// workers can ship them back over the wire.
+func (r *Runner) runCell(ctx context.Context, c Cell) (stats.Report, bool, obs.Phases, error) {
+	start := time.Now()
+	rep, hit, ph, err := r.resolveCell(ctx, c)
+	if err != nil {
+		return rep, hit, ph, err
+	}
+	wall := time.Since(start)
+	mCellsCompleted.Inc()
+	mCellDuration.ObserveDuration(wall)
+	if !ph.IsZero() {
+		mCellPhase.With(phaseTraceGen).ObserveDuration(ph.TraceGen)
+		mCellPhase.With(phasePlatformBuild).ObserveDuration(ph.PlatformBuild)
+		mCellPhase.With(phaseEventLoop).ObserveDuration(ph.EventLoop)
+	}
+	obs.SpanFrom(ctx).RecordCell(wall, ph, hit, false)
+	return rep, hit, ph, nil
+}
+
+// resolveCell resolves one cell: cache lookup, then single-flight
+// simulation, then store. The bool result reports whether the cell was
+// served without simulating here (cache hit or shared in-flight result).
+func (r *Runner) resolveCell(ctx context.Context, c Cell) (stats.Report, bool, obs.Phases, error) {
 	var key string
 	if r.Cache != nil && c.cacheable() {
 		k, err := c.Key()
 		if err != nil {
-			return stats.Report{}, false, err
+			return stats.Report{}, false, obs.Phases{}, err
 		}
 		key = k
 		if rep, ok := r.Cache.Get(key); ok {
 			r.hits.Add(1)
-			return rep, true, nil
+			mCacheHits.Inc()
+			return rep, true, obs.Phases{}, nil
 		}
 	}
 	if key == "" {
-		rep, err := r.simulate(ctx, c)
-		return rep, false, err
+		rep, ph, err := r.simulate(ctx, c)
+		return rep, false, ph, err
 	}
 
 	// Single-flight: concurrent requests for one key (two jobs polling the
@@ -232,7 +265,7 @@ joinFlight:
 		select {
 		case <-call.done:
 		case <-ctx.Done():
-			return stats.Report{}, false, ctx.Err()
+			return stats.Report{}, false, obs.Phases{}, ctx.Err()
 		}
 		if call.err != nil {
 			// A context error is the *leader's* cancellation, not ours: its
@@ -242,16 +275,18 @@ joinFlight:
 			if (errors.Is(call.err, context.Canceled) || errors.Is(call.err, context.DeadlineExceeded)) && ctx.Err() == nil {
 				goto joinFlight
 			}
-			return stats.Report{}, false, call.err
+			return stats.Report{}, false, obs.Phases{}, call.err
 		}
 		r.shared.Add(1)
 		r.hits.Add(1)
+		mCacheShared.Inc()
+		mCacheHits.Inc()
 		// Prefer the cached form so every caller gets a private decoded
 		// copy instead of aliasing the leader's report maps.
 		if rep, ok := r.Cache.Get(key); ok {
-			return rep, true, nil
+			return rep, true, obs.Phases{}, nil
 		}
-		return call.rep, true, nil
+		return call.rep, true, obs.Phases{}, nil
 	}
 	call := &flightCall{done: make(chan struct{})}
 	r.flight[key] = call
@@ -268,43 +303,48 @@ joinFlight:
 	// removed, so re-checking the cache here closes that window.
 	if rep, ok := r.Cache.Get(key); ok {
 		r.hits.Add(1)
+		mCacheHits.Inc()
 		call.rep = rep
-		return rep, true, nil
+		return rep, true, obs.Phases{}, nil
 	}
 
-	rep, err := r.simulate(ctx, c)
+	rep, ph, err := r.simulate(ctx, c)
 	if err != nil {
 		call.err = err
-		return stats.Report{}, false, err
+		return stats.Report{}, false, obs.Phases{}, err
 	}
 	// The cache is an optimization, not a correctness dependency: a failed
 	// Put (full disk, lost permissions) must not discard a successfully
 	// computed result, so it only bumps a counter the caller can surface.
 	if putErr := r.Cache.Put(key, rep); putErr != nil {
 		r.putErrs.Add(1)
+		mCachePutErrors.Inc()
 		call.rep = rep
-		return rep, false, nil
+		return rep, false, ph, nil
 	}
 	// Serve the stored form so cached and fresh paths are identical
 	// byte-for-byte (JSON round-tripping normalizes empty maps).
 	if cached, ok := r.Cache.Get(key); ok {
 		call.rep = cached
-		return cached, false, nil
+		return cached, false, ph, nil
 	}
 	call.rep = rep
-	return rep, false, nil
+	return rep, false, ph, nil
 }
 
 // simulate executes the cell under the process-wide concurrency cap. The
 // miss counter is bumped only once a slot is held: a cell abandoned by
 // cancellation while queued for a slot never simulated, and Stats.Misses
-// documents "misses that ran a simulation".
-func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, error) {
+// documents "misses that ran a simulation". The phase split is measured
+// for the default simulation paths; a custom RunFn is opaque, so its
+// phases stay zero and only the cell's wall time is observable.
+func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, obs.Phases, error) {
 	if err := r.acquire(ctx); err != nil {
-		return stats.Report{}, err
+		return stats.Report{}, obs.Phases{}, err
 	}
 	defer r.release()
 	r.misses.Add(1)
+	mCacheMisses.Inc()
 	run := c.RunFn
 	if run == nil && c.WorkloadDef != nil {
 		// A cell carrying an inline workload definition is self-describing:
@@ -312,13 +352,14 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, error) {
 		// Runner.RunFn — which only sees the workload *name* — would run
 		// the Table II namesake (or fail on an unknown name) while the
 		// cache keyed on the custom definition.
-		return core.RunWorkloadDef(c.Config, *c.WorkloadDef)
+		return core.RunWorkloadDefTimed(c.Config, *c.WorkloadDef)
 	}
 	if run == nil {
 		run = r.RunFn
 	}
 	if run == nil {
-		run = core.RunConfig
+		return core.RunConfigTimed(c.Config, c.Workload)
 	}
-	return run(c.Config, c.Workload)
+	rep, err := run(c.Config, c.Workload)
+	return rep, obs.Phases{}, err
 }

@@ -44,6 +44,22 @@ type ServeConfig struct {
 	// WorkerCapacity is how many leased cells a worker process runs
 	// concurrently (`ohmserve -worker`); <=0 means GOMAXPROCS.
 	WorkerCapacity int
+
+	// PprofAddr, when non-empty, starts a net/http/pprof listener on this
+	// address (both coordinator and worker modes). Keep it off public
+	// interfaces; profiles expose process internals.
+	PprofAddr string
+	// MetricsAddr, when non-empty, starts a standalone /metrics listener.
+	// Coordinators always serve /metrics on the main API address; this knob
+	// exists so worker processes — which have no API listener — can be
+	// scraped too.
+	MetricsAddr string
+	// LogLevel is the minimum structured-log level: debug, info, warn or
+	// error. Debug includes per-poll worker traffic (lease/heartbeat lines).
+	LogLevel string
+	// LogJSON switches structured logs from human-readable key=value text
+	// to one JSON object per line.
+	LogJSON bool
 }
 
 // DefaultServe returns the daemon defaults.
@@ -61,5 +77,10 @@ func DefaultServe() ServeConfig {
 		LeasePoll:      10 * time.Second,
 		LocalCells:     0,
 		WorkerCapacity: 0,
+
+		PprofAddr:   "",
+		MetricsAddr: "",
+		LogLevel:    "info",
+		LogJSON:     false,
 	}
 }

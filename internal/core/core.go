@@ -13,11 +13,13 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/energy"
 	"repro/internal/gpu"
 	"repro/internal/hmem"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -107,20 +109,58 @@ func Run(p config.Platform, m config.MemMode, workload string) (stats.Report, er
 
 // RunConfig builds a system from an explicit config and runs one workload.
 func RunConfig(cfg config.Config, workload string) (stats.Report, error) {
+	rep, _, err := RunConfigTimed(cfg, workload)
+	return rep, err
+}
+
+// RunConfigTimed is RunConfig with a wall-clock split of the three
+// per-cell phases: platform construction, trace generation (near zero
+// when the in-process registry already holds the trace) and the
+// discrete-event loop. The report is identical to RunConfig's — timing
+// rides alongside, never inside, the pinned stats.Report.
+func RunConfigTimed(cfg config.Config, workload string) (stats.Report, obs.Phases, error) {
+	var ph obs.Phases
+	t := time.Now()
 	sys, err := NewSystem(cfg)
+	ph.PlatformBuild = time.Since(t)
 	if err != nil {
-		return stats.Report{}, err
+		return stats.Report{}, ph, err
 	}
-	return sys.RunWorkload(workload)
+	t = time.Now()
+	tr, err := trace.CachedByName(workload, &sys.Cfg)
+	ph.TraceGen = time.Since(t)
+	if err != nil {
+		return stats.Report{}, ph, err
+	}
+	t = time.Now()
+	rep := sys.RunTrace(tr)
+	ph.EventLoop = time.Since(t)
+	return rep, ph, nil
 }
 
 // RunWorkloadDef builds a system from an explicit config and runs an
 // explicit workload definition (the custom-workload counterpart of
 // RunConfig, used by the batch engine for spec-defined workloads).
 func RunWorkloadDef(cfg config.Config, w config.Workload) (stats.Report, error) {
+	rep, _, err := RunWorkloadDefTimed(cfg, w)
+	return rep, err
+}
+
+// RunWorkloadDefTimed is RunWorkloadDef with the same phase split as
+// RunConfigTimed.
+func RunWorkloadDefTimed(cfg config.Config, w config.Workload) (stats.Report, obs.Phases, error) {
+	var ph obs.Phases
+	t := time.Now()
 	sys, err := NewSystem(cfg)
+	ph.PlatformBuild = time.Since(t)
 	if err != nil {
-		return stats.Report{}, err
+		return stats.Report{}, ph, err
 	}
-	return sys.RunWorkloadDef(w), nil
+	t = time.Now()
+	tr := trace.Cached(w, &sys.Cfg)
+	ph.TraceGen = time.Since(t)
+	t = time.Now()
+	rep := sys.RunTrace(tr)
+	ph.EventLoop = time.Since(t)
+	return rep, ph, nil
 }

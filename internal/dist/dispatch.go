@@ -4,11 +4,13 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -60,6 +62,9 @@ type Dispatcher struct {
 	// StealAfter is how long a cell must be leased before an idle worker
 	// may steal a duplicate lease; 0 means LeaseTTL/2.
 	StealAfter time.Duration
+	// Logger, when non-nil, receives structured protocol events (worker
+	// lifecycle, lease expiry, requeues, steals, version skew).
+	Logger *slog.Logger
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -77,14 +82,20 @@ type Dispatcher struct {
 	tasks   map[string]*task
 	byKey   map[string]*task
 
-	leased     atomic.Uint64
-	remoteDone atomic.Uint64
-	localDone  atomic.Uint64
-	cacheHits  atomic.Uint64
-	requeued   atomic.Uint64
-	stolen     atomic.Uint64
-	failed     atomic.Uint64
+	leased      atomic.Uint64
+	remoteDone  atomic.Uint64
+	localDone   atomic.Uint64
+	cacheHits   atomic.Uint64
+	requeued    atomic.Uint64
+	stolen      atomic.Uint64
+	failed      atomic.Uint64
+	expired     atomic.Uint64
+	heartbeats  atomic.Uint64
+	versionSkew atomic.Uint64
 }
+
+// log returns the dispatcher's logger, or the no-op logger.
+func (d *Dispatcher) log() *slog.Logger { return obs.Or(d.Logger) }
 
 // workerState is the coordinator's view of one registered worker. (The
 // worker's advertised capacity shapes its own lease requests; the
@@ -110,6 +121,7 @@ type task struct {
 	cell     batch.Cell
 	attempts int
 	queued   bool
+	created  time.Time
 	leases   map[string]lease // holder id -> lease
 	waiters  []waiter
 }
@@ -123,6 +135,7 @@ type waiter struct {
 // callState is one RunContext invocation in flight.
 type callState struct {
 	ctx      context.Context
+	span     *obs.JobSpan // from the job context; nil-safe
 	reports  []stats.Report
 	errs     []error
 	progress batch.Progress
@@ -259,6 +272,9 @@ type Counters struct {
 	Requeued        uint64 `json:"requeued"`
 	Stolen          uint64 `json:"stolen"`
 	Failed          uint64 `json:"failed"`
+	Expired         uint64 `json:"expired"`
+	Heartbeats      uint64 `json:"heartbeats"`
+	VersionSkew     uint64 `json:"version_skew"`
 }
 
 // Stats snapshots the counters.
@@ -271,6 +287,9 @@ func (d *Dispatcher) Stats() Counters {
 		Requeued:        d.requeued.Load(),
 		Stolen:          d.stolen.Load(),
 		Failed:          d.failed.Load(),
+		Expired:         d.expired.Load(),
+		Heartbeats:      d.heartbeats.Load(),
+		VersionSkew:     d.versionSkew.Load(),
 	}
 }
 
@@ -293,6 +312,7 @@ func (d *Dispatcher) RunContext(ctx context.Context, cells []batch.Cell, progres
 	d.start()
 	call := &callState{
 		ctx:      ctx,
+		span:     obs.SpanFrom(ctx),
 		reports:  make([]stats.Report, len(cells)),
 		errs:     make([]error, len(cells)),
 		progress: progress,
@@ -320,8 +340,11 @@ func (d *Dispatcher) RunContext(ctx context.Context, cells []batch.Cell, progres
 			call.resolveSkip(i, err)
 			continue
 		}
+		hitStart := time.Now()
 		if rep, ok := d.cacheGet(key); ok {
 			d.cacheHits.Add(1)
+			mDistCacheHits.Inc()
+			call.span.RecordCell(time.Since(hitStart), obs.Phases{}, true, false)
 			call.resolve(i, rep, true, nil)
 			continue
 		}
@@ -382,6 +405,7 @@ func (d *Dispatcher) submit(call *callState, idx int, key string, c batch.Cell) 
 		key:     key,
 		cell:    c,
 		queued:  true,
+		created: time.Now(),
 		leases:  make(map[string]lease, 1),
 		waiters: []waiter{{call, idx}},
 	}
@@ -456,7 +480,12 @@ func (d *Dispatcher) unqueueLocked(t *task) {
 
 // finalize completes a live task: it leaves every queue, its leases are
 // released, and each waiting job receives a private copy of the report.
-func (d *Dispatcher) finalize(t *task, rep stats.Report, hit bool, err error) {
+// The cell's timing folds into each waiting job's span: wall time runs
+// from task creation (queueing and transport included), phases are the
+// executing side's measurement (shipped over the wire for remote cells),
+// and waiters beyond the first record a cache hit — they shared the
+// result, exactly like the runner's single-flight followers.
+func (d *Dispatcher) finalize(t *task, rep stats.Report, hit bool, ph obs.Phases, remote bool, err error) {
 	d.mu.Lock()
 	if _, live := d.tasks[t.id]; !live {
 		d.mu.Unlock()
@@ -474,8 +503,11 @@ func (d *Dispatcher) finalize(t *task, rep stats.Report, hit bool, err error) {
 	t.waiters = nil
 	d.mu.Unlock()
 
+	wall := time.Since(t.created)
 	if err != nil {
 		d.failed.Add(1)
+		mDistFailed.Inc()
+		d.log().Error("dist: cell failed", obs.KeyTaskID, t.id, obs.KeyCell, t.cell.String(), "err", err)
 		for _, w := range ws {
 			w.call.resolve(w.idx, stats.Report{}, false, err)
 		}
@@ -492,6 +524,9 @@ func (d *Dispatcher) finalize(t *task, rep stats.Report, hit bool, err error) {
 			} else {
 				r = cloneReport(rep)
 			}
+			w.call.span.RecordCell(wall, obs.Phases{}, true, remote)
+		} else {
+			w.call.span.RecordCell(wall, ph, hit, remote)
 		}
 		w.call.resolve(w.idx, r, hit, nil)
 	}
@@ -540,12 +575,15 @@ func (d *Dispatcher) localConsumer() {
 		// closeCtx, not a job context: a leased cell runs to completion
 		// (and lands in the cache) even if every waiting job is cancelled
 		// meanwhile — identical to the in-process drain semantics — but
-		// Close aborts cells still queued for a simulation slot.
-		rep, hit, err := d.Runner.RunCell(d.closeCtx, t.cell)
+		// Close aborts cells still queued for a simulation slot. The job
+		// span is fed by finalize, which knows the waiters; the runner
+		// can't see them through closeCtx.
+		rep, hit, ph, err := d.Runner.RunCellTimed(d.closeCtx, t.cell)
 		if err == nil {
 			d.localDone.Add(1)
+			mLocalCompleted.Inc()
 		}
-		d.finalize(t, rep, hit, err)
+		d.finalize(t, rep, hit, ph, false, err)
 	}
 }
 
@@ -618,6 +656,9 @@ func (d *Dispatcher) sweepExpired(now time.Time) {
 				delete(t.leases, id)
 			}
 			delete(d.workers, id)
+			mWorkersConnected.Dec()
+			d.log().Warn("dist: worker silent past timeout, forgotten",
+				obs.KeyWorkerID, id, obs.KeyWorker, w.name, "last_seen", now.Sub(w.lastSeen).String())
 		}
 	}
 	for _, t := range d.tasks {
@@ -627,6 +668,10 @@ func (d *Dispatcher) sweepExpired(now time.Time) {
 				if w := d.workers[holder]; w != nil {
 					delete(w.leases, t.id)
 				}
+				d.expired.Add(1)
+				mLeasesExpired.Inc()
+				d.log().Warn("dist: lease expired",
+					obs.KeyTaskID, t.id, obs.KeyWorkerID, holder, obs.KeyCell, t.cell.String())
 			}
 		}
 		if len(t.leases) == 0 && !t.queued {
@@ -643,7 +688,7 @@ func (d *Dispatcher) sweepExpired(now time.Time) {
 		w.call.resolve(w.idx, stats.Report{}, false, w.call.ctx.Err())
 	}
 	for _, f := range failures {
-		d.finalize(f.t, stats.Report{}, false, f.err)
+		d.finalize(f.t, stats.Report{}, false, obs.Phases{}, false, f.err)
 	}
 }
 
@@ -670,6 +715,8 @@ func (d *Dispatcher) requeueLocked(t *task) (failErr error, cancelled []waiter) 
 		return fmt.Errorf("dist: cell failed after %d lease attempts (workers lost or cell erroring)", t.attempts), cancelled
 	}
 	d.requeued.Add(1)
+	mRequeuedCells.Inc()
+	d.log().Info("dist: cell requeued", obs.KeyTaskID, t.id, "attempts", t.attempts)
 	t.queued = true
 	d.pending = append(d.pending, t)
 	d.wakeAllLocked()
@@ -697,6 +744,9 @@ func (d *Dispatcher) RegisterWorker(name string, capacity int) RegisterResponse 
 		leases:   make(map[string]*task),
 	}
 	d.mu.Unlock()
+	mWorkersConnected.Inc()
+	d.log().Info("dist: worker registered",
+		obs.KeyWorkerID, id, obs.KeyWorker, name, "capacity", capacity)
 	ttl := d.leaseTTL()
 	return RegisterResponse{
 		WorkerID:        id,
@@ -722,6 +772,8 @@ func (d *Dispatcher) Deregister(id string) error {
 		return ErrUnknownWorker
 	}
 	delete(d.workers, id)
+	mWorkersConnected.Dec()
+	requeuing := len(w.leases)
 	for _, t := range w.leases {
 		delete(t.leases, id)
 		if len(t.leases) == 0 && !t.queued {
@@ -733,11 +785,13 @@ func (d *Dispatcher) Deregister(id string) error {
 		}
 	}
 	d.mu.Unlock()
+	d.log().Info("dist: worker deregistered",
+		obs.KeyWorkerID, id, obs.KeyWorker, w.name, "requeuing", requeuing)
 	for _, wt := range resolves {
 		wt.call.resolve(wt.idx, stats.Report{}, false, wt.call.ctx.Err())
 	}
 	for _, f := range failures {
-		d.finalize(f.t, stats.Report{}, false, f.err)
+		d.finalize(f.t, stats.Report{}, false, obs.Phases{}, false, f.err)
 	}
 	return nil
 }
@@ -769,6 +823,7 @@ func (d *Dispatcher) Lease(id string, max int) ([]WireCell, error) {
 		t.leases[id] = lease{deadline: now.Add(ttl), granted: now}
 		w.leases[t.id] = t
 		d.leased.Add(1)
+		mLeasesGranted.Inc()
 		out = append(out, wireCell(t.id, t.key, t.cell))
 	}
 	if len(out) > 0 {
@@ -806,6 +861,10 @@ func (d *Dispatcher) Lease(id string, max int) ([]WireCell, error) {
 		w.leases[victim.id] = victim
 		d.leased.Add(1)
 		d.stolen.Add(1)
+		mLeasesGranted.Inc()
+		mLeasesStolen.Inc()
+		d.log().Info("dist: lease stolen",
+			obs.KeyTaskID, victim.id, obs.KeyWorkerID, id, "leased_for", now.Sub(oldest).String())
 		out = append(out, wireCell(victim.id, victim.key, victim.cell))
 	}
 	return out, nil
@@ -840,6 +899,8 @@ func (d *Dispatcher) Complete(id string, req CompleteRequest) (CompleteResponse,
 
 	if req.Error != "" {
 		remoteErr := fmt.Errorf("dist: worker %s: %s", id, req.Error)
+		d.log().Warn("dist: worker reported cell error",
+			obs.KeyWorkerID, id, obs.KeyTaskID, req.TaskID, "err", req.Error)
 		var fail bool
 		var resolves []waiter
 		d.mu.Lock()
@@ -856,7 +917,7 @@ func (d *Dispatcher) Complete(id string, req CompleteRequest) (CompleteResponse,
 			wt.call.resolve(wt.idx, stats.Report{}, false, wt.call.ctx.Err())
 		}
 		if fail {
-			d.finalize(t, stats.Report{}, false, remoteErr)
+			d.finalize(t, stats.Report{}, false, obs.Phases{}, true, remoteErr)
 		}
 		return CompleteResponse{Accepted: true}, nil
 	}
@@ -867,13 +928,23 @@ func (d *Dispatcher) Complete(id string, req CompleteRequest) (CompleteResponse,
 		// A worker answering with a different content address computed a
 		// different cell than we dispatched — version skew. Fail loudly,
 		// and above all do not let the report anywhere near the cache.
-		d.finalize(t, stats.Report{}, false,
+		d.versionSkew.Add(1)
+		mVersionSkew.Inc()
+		d.log().Error("dist: version skew refusal",
+			obs.KeyWorkerID, id, obs.KeyTaskID, t.id, "got_key", req.Key[:min(12, len(req.Key))], "want_key", t.key[:12])
+		d.finalize(t, stats.Report{}, false, obs.Phases{}, true,
 			pathError("worker %s returned key %.12s for cell keyed %.12s (binary version skew?)", id, req.Key, t.key))
 		return CompleteResponse{Accepted: false}, nil
 	}
 	norm := d.putAndReload(t.key, *req.Report)
 	d.remoteDone.Add(1)
-	d.finalize(t, norm, req.CacheHit, nil)
+	mRemoteCompleted.Inc()
+	mWorkerCells.With(workerLabel(w)).Inc()
+	var ph obs.Phases
+	if req.Phases != nil {
+		ph = *req.Phases
+	}
+	d.finalize(t, norm, req.CacheHit, ph, true, nil)
 	return CompleteResponse{Accepted: true}, nil
 }
 
@@ -883,6 +954,8 @@ func (d *Dispatcher) Complete(id string, req CompleteRequest) (CompleteResponse,
 func (d *Dispatcher) Heartbeat(id string, taskIDs []string) ([]string, error) {
 	now := time.Now()
 	ttl := d.leaseTTL()
+	d.heartbeats.Add(1)
+	mHeartbeats.Inc()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	w, ok := d.workers[id]

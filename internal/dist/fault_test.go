@@ -50,6 +50,11 @@ func TestWorkerKilledMidCellRequeues(t *testing.T) {
 	if got := c.d.Stats().Requeued; got < 1 {
 		t.Fatalf("expected at least one requeue after the worker died, got %d", got)
 	}
+	// The requeue must have come from lease expiry (the worker never
+	// deregistered), and the expiry counter is the observable that says so.
+	if got := c.d.Stats().Expired; got < 1 {
+		t.Fatalf("expected at least one expired lease after kill -9, got %d", got)
+	}
 	if !bytes.Equal(c.result(id), referenceBytes(t, sixCells)) {
 		t.Fatal("post-failure result differs from single-process run")
 	}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/config"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -112,6 +113,10 @@ type CompleteRequest struct {
 	// CacheHit reports whether the worker served the cell from its own
 	// cache rather than simulating (coordinator observability only).
 	CacheHit bool `json:"cache_hit,omitempty"`
+	// Phases is the worker-side phase split of a simulated cell (absent
+	// for cache hits and failures), folded into the waiting job's timing
+	// breakdown on the coordinator. Older workers simply omit it.
+	Phases *obs.Phases `json:"phases,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Revoked tells the worker

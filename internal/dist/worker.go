@@ -6,12 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/obs"
 )
 
 // defaultLocalSlots sizes execution pools when nothing was configured.
@@ -39,8 +41,10 @@ type Worker struct {
 	// Timeout zero — the lease call long-polls up to the coordinator's
 	// poll bound.
 	Client *http.Client
-	// Logf, when non-nil, receives connection lifecycle messages.
-	Logf func(format string, args ...interface{})
+	// Logger, when non-nil, receives structured pull-loop events
+	// (registration, leases, completions, failures), each tagged with the
+	// worker and task identity.
+	Logger *slog.Logger
 
 	mu       sync.Mutex
 	id       string
@@ -106,13 +110,13 @@ func (w *Worker) Run(ctx context.Context) error {
 			if isNotFound(err) {
 				// The coordinator forgot us (restart, or we were silent
 				// past the worker timeout): start over.
-				w.logf("dist: worker re-registering: %v", err)
+				w.log().Warn("dist: worker re-registering", "err", err)
 				if rerr := w.register(ctx); rerr != nil {
 					return rerr
 				}
 				continue
 			}
-			w.logf("dist: lease failed, backing off %s: %v", backoff, err)
+			w.log().Warn("dist: lease failed, backing off", "backoff", backoff.String(), "err", err)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
@@ -125,6 +129,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		backoff = 100 * time.Millisecond
 		unclaim(free - len(cells)) // slots the coordinator had nothing for
+		if len(cells) > 0 {
+			w.log().Debug("dist: leased cells", "count", len(cells))
+		}
 		for _, wc := range cells {
 			wc := wc
 			w.track(wc.TaskID)
@@ -153,12 +160,21 @@ func (w *Worker) runCell(ctx context.Context, wc WireCell) {
 	case key != wc.Key:
 		req.Error = fmt.Sprintf("cell keyed %.12s here but %.12s at the coordinator (binary version skew?)", key, wc.Key)
 	default:
-		rep, hit, rerr := w.Runner.RunCell(ctx, cell)
+		start := time.Now()
+		rep, hit, ph, rerr := w.Runner.RunCellTimed(ctx, cell)
 		if rerr != nil {
 			req.Error = rerr.Error()
+			w.log().Warn("dist: cell failed",
+				obs.KeyTaskID, wc.TaskID, obs.KeyCell, cell.String(), "err", rerr)
 		} else {
 			req.Report = &rep
 			req.CacheHit = hit
+			if !ph.IsZero() {
+				req.Phases = &ph
+			}
+			w.log().Info("dist: cell complete",
+				obs.KeyTaskID, wc.TaskID, obs.KeyCell, cell.String(),
+				"cache_hit", hit, "duration", time.Since(start).String())
 		}
 	}
 	if ctx.Err() != nil || w.revoked(wc.TaskID) {
@@ -171,7 +187,8 @@ func (w *Worker) runCell(ctx context.Context, wc WireCell) {
 	defer cancel()
 	var resp CompleteResponse
 	if err := w.post(cctx, "/v1/workers/"+w.wid()+"/complete", req, &resp); err != nil {
-		w.logf("dist: complete %s failed (coordinator will requeue on expiry): %v", wc.TaskID, err)
+		w.log().Warn("dist: complete failed (coordinator will requeue on expiry)",
+			obs.KeyTaskID, wc.TaskID, "err", err)
 	}
 }
 
@@ -211,7 +228,7 @@ func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
 		err := w.post(ctx, "/v1/workers/"+w.wid()+"/heartbeat", HeartbeatRequest{TaskIDs: ids}, &resp)
 		cancel()
 		if err != nil {
-			w.logf("dist: heartbeat failed: %v", err)
+			w.log().Warn("dist: heartbeat failed", "err", err)
 			continue
 		}
 		for _, id := range resp.Revoked {
@@ -231,13 +248,14 @@ func (w *Worker) register(ctx context.Context) error {
 			w.id = resp.WorkerID
 			w.hb = time.Duration(resp.HeartbeatMillis) * time.Millisecond
 			w.mu.Unlock()
-			w.logf("dist: registered as %s (heartbeat %s)", resp.WorkerID, time.Duration(resp.HeartbeatMillis)*time.Millisecond)
+			w.log().Info("dist: registered",
+				obs.KeyWorker, w.Name, "heartbeat", (time.Duration(resp.HeartbeatMillis) * time.Millisecond).String())
 			return nil
 		}
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		w.logf("dist: register failed, retrying in %s: %v", backoff, err)
+		w.log().Warn("dist: register failed, retrying", "backoff", backoff.String(), "err", err)
 		select {
 		case <-time.After(backoff):
 		case <-ctx.Done():
@@ -355,8 +373,8 @@ func (w *Worker) inflightIDs() []string {
 	return ids
 }
 
-func (w *Worker) logf(format string, args ...interface{}) {
-	if w.Logf != nil {
-		w.Logf(format, args...)
-	}
+// log returns the worker's logger (or the no-op logger) tagged with the
+// current worker id.
+func (w *Worker) log() *slog.Logger {
+	return obs.Or(w.Logger).With(obs.KeyWorkerID, w.wid())
 }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Canonical structured-log attribute keys, so every layer tags the same
+// identity the same way and a log pipeline can join across components:
+//
+//	request_id  one HTTP request through the daemon middleware
+//	job_id      one submitted job (serve.Job)
+//	task_id     one dispatched cell lease (dist task)
+//	cell        a cell's human identity (platform/mode/workload[@overrides])
+//	worker_id   a registered worker (coordinator-side id)
+//	worker      a worker's human label
+const (
+	KeyRequestID = "request_id"
+	KeyJobID     = "job_id"
+	KeyTaskID    = "task_id"
+	KeyCell      = "cell"
+	KeyWorkerID  = "worker_id"
+	KeyWorker    = "worker"
+)
+
+// NewLogger builds the daemon's structured logger: JSON (one object per
+// line, for log pipelines) or logfmt-style text (for humans), at the given
+// level.
+func NewLogger(w io.Writer, level slog.Level, json bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if json {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps "debug"/"info"/"warn"/"error" (case-insensitive) to a
+// slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// Nop returns a logger that discards everything; components treat a nil
+// Logger field as this, so instrumentation never requires configuration.
+func Nop() *slog.Logger { return slog.New(nopHandler{}) }
+
+// nopHandler drops every record. (slog.DiscardHandler exists only from Go
+// 1.24; this keeps the module's 1.22 floor.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// Or returns l, or the Nop logger when l is nil — the one-liner every
+// component uses to make its Logger field optional.
+func Or(l *slog.Logger) *slog.Logger {
+	if l != nil {
+		return l
+	}
+	return Nop()
+}

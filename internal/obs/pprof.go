@@ -1,0 +1,36 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// PprofMux returns a mux carrying the standard /debug/pprof endpoints
+// (index, cmdline, profile, symbol, trace plus the runtime profiles the
+// index links). Callers mount it on a dedicated — ideally loopback-only —
+// listener: profiles expose memory contents and must not share the public
+// API surface.
+func PprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartPprof serves the pprof endpoints on addr in a background
+// goroutine, returning the bound address (useful with ":0") and a stop
+// function. The ohmserve -pprof flag drives this for both coordinator
+// and worker processes.
+func StartPprof(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: PprofMux()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

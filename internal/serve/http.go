@@ -9,6 +9,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // NewHandler returns the daemon's HTTP API:
@@ -21,8 +22,9 @@ import (
 //	GET    /v1/experiments      list the registered experiment drivers
 //	GET    /v1/platforms        list the platform presets (discovery)
 //	GET    /v1/workloads        list the Table II workload definitions (discovery)
-//	GET    /v1/healthz          liveness: uptime, queue depth, jobs running
+//	GET    /v1/healthz          liveness: uptime, queue depth, jobs running, cache stats
 //	GET    /healthz             legacy liveness plus shared-cache counters
+//	GET    /metrics             Prometheus text exposition of every registered metric
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
@@ -101,6 +103,7 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Health())
 	})
+	mux.Handle("GET /metrics", obs.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := m.Runner().Stats()
 		writeJSON(w, http.StatusOK, map[string]interface{}{

@@ -12,12 +12,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -138,6 +140,22 @@ type Status struct {
 	Created    time.Time  `json:"created"`
 	Started    *time.Time `json:"started,omitempty"`
 	Finished   *time.Time `json:"finished,omitempty"`
+	// Timing is the job's machine-readable time breakdown, present once
+	// the job has started; durations are integer nanoseconds.
+	Timing *Timing `json:"timing,omitempty"`
+}
+
+// Timing answers "where did this job's time go" from GET /v1/jobs/{id}
+// alone: queue wait, wall-clock run time, summed per-cell wall time
+// (exceeds run time under parallelism; includes queueing and transport
+// for remote cells), how many cells remote workers computed, and the
+// per-phase split of simulated cells.
+type Timing struct {
+	QueueWait   time.Duration `json:"queue_wait_ns"`
+	Run         time.Duration `json:"run_ns"`
+	CellsWall   time.Duration `json:"cells_wall_ns"`
+	RemoteCells int           `json:"remote_cells"`
+	Phases      obs.Phases    `json:"phases"`
 }
 
 // Job is one submitted unit of work and its (eventual) result.
@@ -157,6 +175,7 @@ type Job struct {
 	created    time.Time
 	started    time.Time
 	finished   time.Time
+	span       *obs.JobSpan // per-job cell timing; set when the job starts
 
 	// Results: sweep jobs keep cells+reports (for JSON and CSV rendering);
 	// experiment jobs keep the driver's typed result.
@@ -187,6 +206,17 @@ func (j *Job) Status() Status {
 	if !j.started.IsZero() {
 		t := j.started
 		s.Started = &t
+		tm := &Timing{QueueWait: j.started.Sub(j.created)}
+		if !j.finished.IsZero() {
+			tm.Run = j.finished.Sub(j.started)
+		} else {
+			tm.Run = time.Since(j.started)
+		}
+		snap := j.span.Snapshot() // nil-safe
+		tm.CellsWall = snap.CellsWall
+		tm.RemoteCells = snap.RemoteCells
+		tm.Phases = snap.Phases
+		s.Timing = tm
 	}
 	if !j.finished.IsZero() {
 		t := j.finished
@@ -218,6 +248,10 @@ type Manager struct {
 	// job semantics (progress, cancel, drain) stay identical. Set before
 	// the first Submit.
 	Executor batch.Executor
+
+	// Logger, when non-nil, receives job lifecycle events (submitted,
+	// started, finished) tagged with job ids. Set before the first Submit.
+	Logger *slog.Logger
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -278,6 +312,9 @@ func (m *Manager) executor() batch.Executor {
 	return batch.LocalExecutor{Runner: m.runner}
 }
 
+// log returns the manager's logger, or the no-op logger.
+func (m *Manager) log() *slog.Logger { return obs.Or(m.Logger) }
+
 // Health is the liveness snapshot served by GET /v1/healthz: deployments
 // probe it to decide whether the daemon is up and how loaded it is.
 type Health struct {
@@ -290,6 +327,23 @@ type Health struct {
 	// WorkersConnected counts registered remote workers when the manager
 	// executes through a distributing executor; absent otherwise.
 	WorkersConnected *int `json:"workers_connected,omitempty"`
+	// Cache summarizes the shared result cache; absent when the runner
+	// has no cache.
+	Cache *CacheHealth `json:"cache,omitempty"`
+}
+
+// CacheHealth is the result-cache summary inside /v1/healthz: size (when
+// the cache can report it — disk_bytes is memory bytes for the in-memory
+// cache) and the runner's traffic counters with a derived hit ratio.
+type CacheHealth struct {
+	// Entries and DiskBytes are -1 when the cache cannot report its size.
+	Entries   int64   `json:"entries"`
+	DiskBytes int64   `json:"disk_bytes"`
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	Shared    uint64  `json:"shared"`
+	PutErrors uint64  `json:"put_errors"`
+	HitRatio  float64 `json:"hit_ratio"` // hits / (hits + misses); 0 with no traffic
 }
 
 // Health snapshots queue depth, running jobs and uptime.
@@ -315,6 +369,25 @@ func (m *Manager) Health() Health {
 	if wc, ok := m.Executor.(interface{ WorkerCount() int }); ok {
 		n := wc.WorkerCount()
 		h.WorkersConnected = &n
+	}
+	if m.runner != nil && m.runner.Cache != nil {
+		rs := m.runner.Stats()
+		ch := &CacheHealth{
+			Entries:   -1,
+			DiskBytes: -1,
+			Hits:      rs.Hits,
+			Misses:    rs.Misses,
+			Shared:    rs.Shared,
+			PutErrors: rs.PutErrors,
+		}
+		if total := rs.Hits + rs.Misses; total > 0 {
+			ch.HitRatio = float64(rs.Hits) / float64(total)
+		}
+		if sc, ok := m.runner.Cache.(batch.StatCache); ok {
+			cs := sc.CacheStats()
+			ch.Entries, ch.DiskBytes = cs.Entries, cs.Bytes
+		}
+		h.Cache = ch
 	}
 	return h
 }
@@ -350,6 +423,11 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	m.jobs[job.id] = job
 	m.order = append(m.order, job.id)
 	m.cond.Signal()
+	mJobsSubmitted.With(req.Kind()).Inc()
+	mJobsQueued.Inc()
+	m.log().Info("job submitted",
+		obs.KeyJobID, job.id, "kind", req.Kind(), "experiment", req.Experiment,
+		"queued", len(m.pending))
 	return job, nil
 }
 
@@ -394,9 +472,14 @@ func (m *Manager) Cancel(id string) bool {
 		for i, p := range m.pending {
 			if p == job {
 				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				mJobsQueued.Dec()
 				break
 			}
 		}
+		// Cancelled before a worker picked it up: this is its terminal
+		// accounting (run() never sees it, or early-returns).
+		mJobsFinished.With(string(StateCancelled)).Inc()
+		m.log().Info("job cancelled while queued", obs.KeyJobID, job.id)
 	case StateRunning:
 		cancel = job.cancel
 	}
@@ -422,6 +505,7 @@ func (m *Manager) worker() {
 		}
 		job := m.pending[0]
 		m.pending = m.pending[1:]
+		mJobsQueued.Dec()
 		m.mu.Unlock()
 		m.run(job)
 	}
@@ -440,7 +524,20 @@ func (m *Manager) run(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now().UTC()
 	job.cancel = cancel
+	span := &obs.JobSpan{}
+	job.span = span
+	queueWait := job.started.Sub(job.created)
 	job.mu.Unlock()
+
+	// Every cell executed on this job's behalf — locally by the runner or
+	// remotely via a dispatcher — finds the span in its context and folds
+	// its wall time and phase split into the job's timing breakdown.
+	ctx = obs.WithSpan(ctx, span)
+
+	mJobsRunning.Inc()
+	m.log().Info("job started",
+		obs.KeyJobID, job.id, "kind", job.req.Kind(), "experiment", job.req.Experiment,
+		"queue_wait", queueWait.String())
 
 	// progress folds every batch the job submits into cumulative per-cell
 	// counters. Drivers submit batches sequentially, so tracking one open
@@ -504,7 +601,22 @@ func (m *Manager) run(job *Job) {
 		job.state = StateFailed
 		job.errMsg = err.Error()
 	}
+	state := job.state
+	runFor := job.finished.Sub(job.started)
+	done, hits := job.cellsDone, job.cacheHits
 	job.mu.Unlock()
+
+	mJobsRunning.Dec()
+	mJobsFinished.With(string(state)).Inc()
+	mJobDuration.ObserveDuration(runFor)
+	lvl := slog.LevelInfo
+	if state == StateFailed {
+		lvl = slog.LevelWarn
+	}
+	m.log().Log(context.Background(), lvl, "job finished",
+		obs.KeyJobID, job.id, "state", string(state),
+		"cells", done, "cache_hits", hits,
+		"duration", runFor.String(), "err", job.errMsg)
 	m.pruneFinished()
 }
 

@@ -8,7 +8,10 @@
 #      bytes identical to `ohmfig -quick -json fig16`;
 #   2. a warm resubmit reports 0 fresh simulations;
 #   3. kill -9 on one worker mid-sweep still completes the job, with the
-#      result byte-identical to a single-process `ohmbatch` run.
+#      result byte-identical to a single-process `ohmbatch` run;
+#   4. /metrics on the coordinator AND on a worker serves valid Prometheus
+#      text (scraped mid-sweep too), with the key series — cells completed,
+#      leases granted, cache hits — consistent with the job results above.
 #
 # CI runs this; it also works locally: scripts/dist_e2e.sh
 set -euo pipefail
@@ -29,6 +32,7 @@ go build -o "$work/ohmbatch" ./cmd/ohmbatch
 
 addr="127.0.0.1:18099"
 base="http://$addr"
+w2metrics="http://127.0.0.1:18100"
 
 echo "== starting coordinator ($addr, pure dispatch)"
 "$work/ohmserve" -addr "$addr" -cache "$work/coord-cache" -local-cells -1 \
@@ -45,7 +49,8 @@ echo "== starting 2 workers"
 "$work/ohmserve" -worker -join "$base" -worker-name w1 -cache "$work/w1-cache" >"$work/w1.log" 2>&1 &
 w1=$!
 pids+=($w1)
-"$work/ohmserve" -worker -join "$base" -worker-name w2 -cache "$work/w2-cache" >"$work/w2.log" 2>&1 &
+"$work/ohmserve" -worker -join "$base" -worker-name w2 -cache "$work/w2-cache" \
+    -metrics-addr "${w2metrics#http://}" >"$work/w2.log" 2>&1 &
 pids+=($!)
 
 # submit <json-body> -> job id
@@ -58,6 +63,46 @@ field() {
     curl -fsS "$base/v1/jobs/$1" |
         python3 -c "import sys,json; print(json.load(sys.stdin)[\"$2\"])"
 }
+# mval <base-url> <literal-series> -> value (0 when the series is absent)
+mval() {
+    curl -fsS "$1/metrics" | python3 -c '
+import sys
+s = sys.argv[1]
+v = "0"
+for line in sys.stdin:
+    if line.startswith(s + " "):
+        v = line.rsplit(" ", 1)[1].strip()
+        break
+print(v)' "$2"
+}
+# assert_ge <value> <floor> <label>
+assert_ge() {
+    python3 -c 'import sys; sys.exit(0 if float(sys.argv[1]) >= float(sys.argv[2]) else 1)' "$1" "$2" ||
+        { echo "metric $3 = $1, want >= $2" >&2; exit 1; }
+}
+# check_expo <base-url> <label>: the body must be well-formed Prometheus
+# text — every sample line parses and every family has HELP and TYPE.
+check_expo() {
+    curl -fsS "$1/metrics" | python3 -c '
+import re, sys
+helps, types, samples = set(), set(), 0
+sample = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{.*\})? -?[0-9.eE+-]+$")
+name = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*")
+for line in sys.stdin.read().splitlines():
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        helps.add(line.split()[2]); continue
+    if line.startswith("# TYPE "):
+        types.add(line.split()[2]); continue
+    assert sample.match(line), f"malformed sample line: {line!r}"
+    fam = re.sub(r"_(sum|count|bucket)$", "", name.match(line).group(0))
+    assert fam in helps and fam in types, f"family {fam} lacks HELP/TYPE"
+    samples += 1
+assert samples > 0, "empty exposition"
+print(f"   {sys.argv[1]}: valid exposition ({samples} samples)")' "$2"
+}
+
 # wait_done <job> <timeout-seconds>
 wait_done() {
     local job=$1 budget=$2 state
@@ -95,19 +140,47 @@ if [ "$simulated" != "0" ]; then
 fi
 curl -fsS "$base/v1/jobs/$job/result" | cmp - "$work/fig16.local.json"
 echo "   0 fresh simulations, bytes identical"
+warm_cells=$(field "$job" cells_done)
+
+echo "== metrics: coordinator after cold+warm runs"
+check_expo "$base" coordinator
+# The cold run dispatched every cell remotely (pure dispatcher), so leases
+# were granted and remote completions flowed back; the warm run answered
+# every cell from the coordinator's cache through the dispatcher's hit path.
+assert_ge "$(mval "$base" ohm_dist_leases_granted_total)" 1 ohm_dist_leases_granted_total
+assert_ge "$(mval "$base" ohm_dist_remote_completed_total)" 1 ohm_dist_remote_completed_total
+assert_ge "$(mval "$base" ohm_dist_workers_connected)" 2 ohm_dist_workers_connected
+assert_ge "$(mval "$base" ohm_dist_cache_hits_total)" "$warm_cells" ohm_dist_cache_hits_total
+assert_ge "$(mval "$base" 'ohm_jobs_finished_total{state="done"}')" 2 'ohm_jobs_finished_total{state=done}'
+echo "   leases granted, remote completions and $warm_cells+ cache hits accounted"
 
 echo "== 3. kill -9 one worker mid-sweep"
-spec='{"platforms":["origin","ohm-base","ohm-bw"],"modes":["planar"],"workloads":["lud","bfsdata","pagerank"],"max_instructions":3500}'
+# Cells sized to run ~1-2s each so every worker is provably mid-cell when
+# the kill lands: w1 must die *holding leases*, or the expiry/requeue
+# asserts below race against a too-fast sweep.
+spec='{"platforms":["origin","ohm-base","ohm-bw"],"modes":["planar"],"workloads":["lud","bfsdata","pagerank"],"max_instructions":150000}'
 job=$(submit "{\"spec\":$spec}")
 # Let the sweep get going, then hard-kill w1 (no deregister, no
 # heartbeat): its leases must expire and the cells requeue onto w2.
 sleep 1
 kill -9 "$w1" 2>/dev/null || true
+echo "== metrics: scraped mid-sweep on coordinator and surviving worker"
+check_expo "$base" coordinator
+check_expo "$w2metrics" worker
 wait_done "$job" 300
 curl -fsS "$base/v1/jobs/$job/result" >"$work/killed.dist.json"
 echo "$spec" >"$work/kill.spec.json"
 "$work/ohmbatch" -spec "$work/kill.spec.json" -cache "$work/batch-cache" -q -o "$work/killed.local.json"
 cmp "$work/killed.dist.json" "$work/killed.local.json"
 echo "   job survived the kill; bytes identical to ohmbatch"
+
+echo "== metrics: worker-side counters consistent with the job results"
+# w2 is the only runner left (pure dispatcher + dead w1): it must have
+# completed cells, and the kill must show up as expired leases + requeues
+# on the coordinator.
+assert_ge "$(mval "$w2metrics" ohm_cells_completed_total)" 1 "worker ohm_cells_completed_total"
+assert_ge "$(mval "$base" ohm_dist_leases_expired_total)" 1 ohm_dist_leases_expired_total
+assert_ge "$(mval "$base" ohm_dist_requeued_total)" 1 ohm_dist_requeued_total
+echo "   worker completions, lease expiries and requeues all visible"
 
 echo "== distributed e2e OK"
