@@ -55,6 +55,7 @@ func main() {
 	instr := flag.Int("instr", 0, "instructions per warp (0 = config default)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache", ".ohmbatch-cache", "result cache directory (empty disables caching)")
+	cacheMax := flag.String("cache-max-bytes", "", "cache byte budget with LRU eviction, e.g. 2GB (empty = unbounded)")
 	format := flag.String("format", "json", "output format: json|csv")
 	out := flag.String("o", "", "output file (empty = stdout)")
 	printSpec := flag.Bool("print-spec", false, "print the resolved spec as JSON and exit without running")
@@ -103,9 +104,17 @@ func main() {
 		return
 	}
 
+	var cacheBudget int64
+	if *cacheMax != "" {
+		var err error
+		cacheBudget, err = config.ParseBytes(*cacheMax)
+		if err != nil {
+			fatalf("-cache-max-bytes: %v", err)
+		}
+	}
 	var cache batch.Cache
 	if *cacheDir != "" {
-		dc, err := batch.NewDiskCache(*cacheDir)
+		dc, err := batch.NewBoundedDiskCache(*cacheDir, cacheBudget)
 		if err != nil {
 			fatalf("%v", err)
 		}

@@ -46,7 +46,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/config"
@@ -59,6 +61,12 @@ func main() {
 	def := config.DefaultServe()
 	addr := flag.String("addr", def.Addr, "HTTP listen address")
 	cacheDir := flag.String("cache", def.CacheDir, "result cache directory (empty = in-memory only)")
+	cacheMax := flag.String("cache-max-bytes", "", "disk cache byte budget with LRU eviction, e.g. 2GB or 512MiB (empty = unbounded)")
+	journalPath := flag.String("journal", def.JournalPath, "durable job journal path; 'auto' = <cache>/journal.jsonl, empty = disabled")
+	tenantRate := flag.Float64("tenant-rate", def.TenantRate, "per-tenant sustained submissions/second (<=0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", def.TenantBurst, "per-tenant submission burst depth (<=0 = derived from -tenant-rate)")
+	tenantMaxJobs := flag.Int("tenant-max-jobs", def.TenantMaxJobs, "per-tenant cap on live jobs (<=0 = unlimited)")
+	tenantMaxCells := flag.Int("tenant-max-cells", def.TenantMaxCells, "per-tenant cap on outstanding sweep cells (<=0 = unlimited)")
 	jobWorkers := flag.Int("job-workers", def.JobWorkers, "jobs executing concurrently")
 	queueDepth := flag.Int("queue", def.QueueDepth, "max queued jobs before submissions get 503")
 	cellWorkers := flag.Int("cell-workers", def.CellWorkers, "process-wide concurrent simulations (0 = GOMAXPROCS)")
@@ -94,9 +102,17 @@ func main() {
 		logger.Info("pprof listening", "addr", bound)
 	}
 
+	var cacheBudget int64
+	if *cacheMax != "" {
+		cacheBudget, err = config.ParseBytes(*cacheMax)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ohmserve: -cache-max-bytes: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	var cache batch.Cache = batch.NewMemCache()
 	if *cacheDir != "" {
-		dc, err := batch.NewDiskCache(*cacheDir)
+		dc, err := batch.NewBoundedDiskCache(*cacheDir, cacheBudget)
 		if err != nil {
 			logger.Error("cache init failed", "err", err)
 			os.Exit(1)
@@ -120,6 +136,36 @@ func main() {
 	manager.Retain = *history
 	manager.Executor = dispatcher
 	manager.Logger = logger
+	if *tenantRate > 0 || *tenantMaxJobs > 0 || *tenantMaxCells > 0 {
+		manager.Admission = serve.NewAdmission(serve.AdmissionConfig{
+			Rate:     *tenantRate,
+			Burst:    *tenantBurst,
+			MaxJobs:  *tenantMaxJobs,
+			MaxCells: *tenantMaxCells,
+		})
+	}
+
+	// "auto" keeps the journal next to the cache it pairs with: replayed
+	// jobs re-run warm only against the same cache directory. A
+	// memory-only cache has no durable home, so auto disables the journal.
+	jpath := *journalPath
+	if jpath == "auto" {
+		jpath = ""
+		if *cacheDir != "" {
+			jpath = filepath.Join(*cacheDir, "journal.jsonl")
+		}
+	}
+	if jpath != "" {
+		journal, replayed, err := serve.OpenJournal(jpath)
+		if err != nil {
+			logger.Error("journal open failed", "path", jpath, "err", err)
+			os.Exit(1)
+		}
+		manager.Journal = journal
+		manager.Recover(replayed)
+		defer journal.Close()
+		logger.Info("journal open", "path", jpath, "replayed_jobs", len(replayed))
+	}
 
 	mux := http.NewServeMux()
 	dist.Register(mux, dispatcher)
@@ -128,7 +174,17 @@ func main() {
 	// Instrument wraps the combined mux exactly once, at the edge, so the
 	// API and the worker protocol share one set of HTTP metrics and one
 	// access log without double counting.
-	srv := &http.Server{Addr: *addr, Handler: serve.Instrument(logger, mux)}
+	//
+	// ReadHeaderTimeout evicts slowloris clients; IdleTimeout reaps idle
+	// keep-alives. No WriteTimeout: the worker lease route long-polls up
+	// to -lease-poll and result downloads can be large, so a blanket
+	// write deadline would sever legitimate responses.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           serve.Instrument(logger, mux),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	logger.Info("ohmserve listening",
@@ -178,7 +234,15 @@ func runWorker(logger *slog.Logger, runner *batch.Runner, join, name string, cap
 			w.Header().Set("Content-Type", "application/json")
 			fmt.Fprintln(w, `{"status":"ok"}`)
 		})
-		msrv := &http.Server{Addr: metricsAddr, Handler: mmux}
+		// Same slowloris/idle protection as the API listener; metrics
+		// responses are small, so a write deadline is safe here too.
+		msrv := &http.Server{
+			Addr:              metricsAddr,
+			Handler:           mmux,
+			ReadHeaderTimeout: 5 * time.Second,
+			WriteTimeout:      30 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				logger.Error("metrics listener failed", "addr", metricsAddr, "err", err)

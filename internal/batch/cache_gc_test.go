@@ -1,0 +1,225 @@
+package batch
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// gcKey mints distinct content-address-shaped keys ("00aaaaaaaa", ...)
+// that land in distinct shard directories.
+func gcKey(i int) string {
+	return fmt.Sprintf("%02daaaaaaaa", i)
+}
+
+// gcReport returns a report whose marshaled size is identical for every
+// key, so byte budgets translate directly into entry counts.
+func gcReport() stats.Report {
+	return stats.Report{IPC: 1.5, Instructions: 1000}
+}
+
+// entrySize is the on-disk size of one gcReport entry.
+func entrySize(t *testing.T) int64 {
+	t.Helper()
+	data, err := json.Marshal(gcReport())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int64(len(data))
+}
+
+// TestDiskCacheEviction: puts past the byte budget evict the coldest
+// entries (insertion order, nothing re-read) and the counters track it.
+func TestDiskCacheEviction(t *testing.T) {
+	size := entrySize(t)
+	c, err := NewBoundedDiskCache(t.TempDir(), 3*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Put(gcKey(i), gcReport()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, wantHit := range []bool{false, false, true, true, true} {
+		if _, ok := c.Get(gcKey(i)); ok != wantHit {
+			t.Errorf("key %d cached = %v, want %v", i, ok, wantHit)
+		}
+	}
+	st := c.CacheStats()
+	if st.Entries != 3 || st.Bytes != 3*size {
+		t.Fatalf("stats = %+v, want 3 entries / %d bytes", st, 3*size)
+	}
+	// Evicted files are really gone from disk.
+	if _, err := os.Stat(c.path(gcKey(0))); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry still on disk: %v", err)
+	}
+}
+
+// TestDiskCacheGetRefreshesRecency: a read moves an entry off the cold
+// end, so the next eviction takes the least-recently-USED entry, not the
+// least-recently-written one.
+func TestDiskCacheGetRefreshesRecency(t *testing.T) {
+	size := entrySize(t)
+	c, err := NewBoundedDiskCache(t.TempDir(), 3*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put(gcKey(i), gcReport()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-read the oldest entry; key 1 becomes coldest.
+	if _, ok := c.Get(gcKey(0)); !ok {
+		t.Fatal("warm entry missing")
+	}
+	if err := c.Put(gcKey(3), gcReport()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(gcKey(1)); ok {
+		t.Fatal("LRU victim should have been key 1")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(gcKey(i)); !ok {
+			t.Fatalf("key %d evicted, want kept", i)
+		}
+	}
+}
+
+// TestDiskCacheStartupGC: reopening a directory under a tighter budget
+// reconstructs recency from file mtimes and immediately evicts the
+// coldest entries — the warm tail of an earlier run survives restarts.
+func TestDiskCacheStartupGC(t *testing.T) {
+	dir := t.TempDir()
+	size := entrySize(t)
+	c1, err := NewDiskCache(dir) // unbounded writer
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-24 * time.Hour)
+	for i := 0; i < 4; i++ {
+		if err := c1.Put(gcKey(i), gcReport()); err != nil {
+			t.Fatal(err)
+		}
+		// Pin mtimes hours apart so the scan's ordering is unambiguous.
+		mt := base.Add(time.Duration(i) * time.Hour)
+		if err := os.Chtimes(c1.path(gcKey(i)), mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c2, err := NewBoundedDiskCache(dir, 2*size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.CacheStats()
+	if st.Entries != 2 || st.Bytes != 2*size {
+		t.Fatalf("post-scan stats = %+v, want 2 entries / %d bytes", st, 2*size)
+	}
+	for i, wantHit := range []bool{false, false, true, true} {
+		if _, ok := c2.Get(gcKey(i)); ok != wantHit {
+			t.Errorf("key %d cached after reopen = %v, want %v", i, ok, wantHit)
+		}
+	}
+}
+
+// TestDiskCacheQuarantine: a corrupt entry is a miss, is moved into the
+// quarantine subdirectory (not deleted — it is evidence), stops counting
+// against the budget, and the startup scan of a later process ignores it.
+func TestDiskCacheQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewBoundedDiskCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(gcKey(0), gcReport()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(gcKey(1), gcReport()); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(gcKey(0)), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(gcKey(0)); ok {
+		t.Fatal("corrupt entry decoded")
+	}
+	if _, err := os.Stat(c.path(gcKey(0))); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry left in place")
+	}
+	qpath := filepath.Join(dir, quarantineDir, gcKey(0)+".json")
+	if _, err := os.Stat(qpath); err != nil {
+		t.Fatalf("corrupt entry not quarantined: %v", err)
+	}
+	if st := c.CacheStats(); st.Entries != 1 {
+		t.Fatalf("stats after quarantine = %+v, want 1 entry", st)
+	}
+	// Second read of the same key: a clean miss, no double-count.
+	if _, ok := c.Get(gcKey(0)); ok {
+		t.Fatal("quarantined entry resurrected")
+	}
+
+	// A fresh process scanning the directory must not count the
+	// quarantined file as a cache entry.
+	c2, err := NewBoundedDiskCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.CacheStats(); st.Entries != 1 {
+		t.Fatalf("rescan stats = %+v, want 1 entry (quarantine skipped)", st)
+	}
+}
+
+// TestDiskCacheKeepsLastEntry: a budget smaller than a single result must
+// not evict the entry that was just written — a too-small budget degrades
+// to "cache of one", never to thrash.
+func TestDiskCacheKeepsLastEntry(t *testing.T) {
+	c, err := NewBoundedDiskCache(t.TempDir(), 1) // one byte
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(gcKey(0), gcReport()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(gcKey(0)); !ok {
+		t.Fatal("sole entry evicted under tiny budget")
+	}
+	if err := c.Put(gcKey(1), gcReport()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(gcKey(0)); ok {
+		t.Fatal("cold entry survived under tiny budget")
+	}
+	if _, ok := c.Get(gcKey(1)); !ok {
+		t.Fatal("just-put entry evicted")
+	}
+	if st := c.CacheStats(); st.Entries != 1 {
+		t.Fatalf("stats = %+v, want exactly 1 entry", st)
+	}
+}
+
+// TestDiskCacheUnboundedUntouched: without a budget nothing is ever
+// evicted and no LRU state exists.
+func TestDiskCacheUnboundedUntouched(t *testing.T) {
+	c, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := c.Put(gcKey(i), gcReport()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.CacheStats(); st.Entries != 10 {
+		t.Fatalf("unbounded cache lost entries: %+v", st)
+	}
+	if c.lru != nil || c.index != nil {
+		t.Fatal("unbounded cache allocated LRU state")
+	}
+}

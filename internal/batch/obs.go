@@ -36,6 +36,13 @@ var (
 	mCacheCorrupt = obs.NewCounter("ohm_result_cache_corrupt_total",
 		"Cache entries that existed but failed to decode (treated as misses).")
 
+	mCacheEvictions = obs.NewCounter("ohm_cache_evictions_total",
+		"Result-cache entries evicted by the byte-budget LRU GC.")
+	mCacheReclaimed = obs.NewCounter("ohm_cache_reclaimed_bytes_total",
+		"Bytes reclaimed from the result cache by the LRU GC.")
+	mCacheQuarantined = obs.NewCounter("ohm_result_cache_quarantined_total",
+		"Corrupt result-cache entries moved aside to quarantine/ for inspection.")
+
 	mCacheReadSeconds = obs.NewHistogram("ohm_result_cache_read_seconds",
 		"Disk result-cache read latency (hits and decode failures).", obs.IOBuckets)
 	mCacheWriteSeconds = obs.NewHistogram("ohm_result_cache_write_seconds",

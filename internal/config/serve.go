@@ -1,6 +1,11 @@
 package config
 
-import "time"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
 
 // ServeConfig parameterizes the ohmserve daemon (cmd/ohmserve): where it
 // listens and how much simulation work it admits at once. Wall-clock
@@ -23,6 +28,16 @@ type ServeConfig struct {
 	// CacheDir is the on-disk result cache shared by every job; empty
 	// selects a memory-only cache.
 	CacheDir string
+	// CacheMaxBytes is the disk cache's byte budget: past it the coldest
+	// entries (LRU by last read or write) are garbage-collected. <=0
+	// means unbounded. Accepts human sizes on the command line via
+	// ParseBytes ("2GB", "512MiB").
+	CacheMaxBytes int64
+	// JournalPath is the durable job journal. "auto" (the default) puts
+	// journal.jsonl inside CacheDir — and disables journaling when the
+	// cache is memory-only; "" disables it explicitly; anything else is
+	// used verbatim.
+	JournalPath string
 	// JobHistory bounds how many finished jobs (with their results) stay
 	// queryable before the oldest are evicted.
 	JobHistory int
@@ -45,6 +60,19 @@ type ServeConfig struct {
 	// concurrently (`ohmserve -worker`); <=0 means GOMAXPROCS.
 	WorkerCapacity int
 
+	// TenantRate is each tenant's sustained job-submission rate
+	// (submissions/second, token bucket); <=0 disables rate limiting.
+	TenantRate float64
+	// TenantBurst is the token-bucket depth: how many submissions a
+	// tenant can make at once after idling. <=0 derives from TenantRate.
+	TenantBurst int
+	// TenantMaxJobs caps a tenant's live (queued or running) jobs; <=0
+	// disables the cap.
+	TenantMaxJobs int
+	// TenantMaxCells caps a tenant's total outstanding sweep cells
+	// across live jobs; <=0 disables the cap.
+	TenantMaxCells int
+
 	// PprofAddr, when non-empty, starts a net/http/pprof listener on this
 	// address (both coordinator and worker modes). Keep it off public
 	// interfaces; profiles expose process internals.
@@ -65,13 +93,20 @@ type ServeConfig struct {
 // DefaultServe returns the daemon defaults.
 func DefaultServe() ServeConfig {
 	return ServeConfig{
-		Addr:         ":8080",
-		JobWorkers:   2,
-		QueueDepth:   64,
-		CellWorkers:  0,
-		CacheDir:     ".ohmserve-cache",
-		JobHistory:   512,
-		DrainTimeout: 30 * time.Second,
+		Addr:          ":8080",
+		JobWorkers:    2,
+		QueueDepth:    64,
+		CellWorkers:   0,
+		CacheDir:      ".ohmserve-cache",
+		CacheMaxBytes: 0,
+		JournalPath:   "auto",
+		JobHistory:    512,
+		DrainTimeout:  30 * time.Second,
+
+		TenantRate:     50,
+		TenantBurst:    100,
+		TenantMaxJobs:  32,
+		TenantMaxCells: 2_000_000,
 
 		LeaseTTL:       15 * time.Second,
 		LeasePoll:      10 * time.Second,
@@ -83,4 +118,43 @@ func DefaultServe() ServeConfig {
 		LogLevel:    "info",
 		LogJSON:     false,
 	}
+}
+
+// ParseBytes parses a human byte size: a plain integer is bytes, and
+// decimal (KB, MB, GB, TB = powers of 1000) or binary (KiB, MiB, GiB,
+// TiB = powers of 1024) suffixes are accepted case-insensitively, with
+// an optional trailing "B" on the binary forms' short spellings ("512M"
+// = MB). Fractions work where they are exact enough to matter ("1.5GB").
+func ParseBytes(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("config: empty byte size")
+	}
+	upper := strings.ToUpper(t)
+	mult := int64(1)
+	suffixes := []struct {
+		suffix string
+		mult   int64
+	}{
+		{"KIB", 1 << 10}, {"MIB", 1 << 20}, {"GIB", 1 << 30}, {"TIB", 1 << 40},
+		{"KB", 1000}, {"MB", 1000_000}, {"GB", 1000_000_000}, {"TB", 1000_000_000_000},
+		{"K", 1000}, {"M", 1000_000}, {"G", 1000_000_000}, {"T", 1000_000_000_000},
+		{"B", 1},
+	}
+	num := upper
+	for _, sf := range suffixes {
+		if strings.HasSuffix(upper, sf.suffix) {
+			num = strings.TrimSpace(strings.TrimSuffix(upper, sf.suffix))
+			mult = sf.mult
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("config: bad byte size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("config: negative byte size %q", s)
+	}
+	return int64(v * float64(mult)), nil
 }

@@ -1,0 +1,25 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// TestJitteredBounds: backoff jitter spreads sleeps over [d/2, 3d/2) so a
+// fleet of workers killed together does not reconnect in lockstep, and
+// never collapses a backoff to zero or stretches it unboundedly.
+func TestJitteredBounds(t *testing.T) {
+	const d = time.Second
+	for i := 0; i < 1000; i++ {
+		got := jittered(d)
+		if got < d/2 || got >= 3*d/2 {
+			t.Fatalf("jittered(%v) = %v, want [%v, %v)", d, got, d/2, 3*d/2)
+		}
+	}
+	if got := jittered(0); got != 0 {
+		t.Fatalf("jittered(0) = %v, want 0", got)
+	}
+	if got := jittered(-time.Second); got != -time.Second {
+		t.Fatalf("jittered(-1s) = %v, want passthrough", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sync"
@@ -18,6 +19,16 @@ import (
 
 // defaultLocalSlots sizes execution pools when nothing was configured.
 func defaultLocalSlots() int { return runtime.GOMAXPROCS(0) }
+
+// jittered spreads a backoff delay uniformly over [d/2, 3d/2): a fleet
+// of workers whose coordinator restarted would otherwise all retry on
+// the same doubling schedule and thundering-herd the new process.
+func jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
 
 // Worker is the pull side of the protocol: it registers with a
 // coordinator, long-polls for cell leases, runs each cell on its own
@@ -118,7 +129,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			w.log().Warn("dist: lease failed, backing off", "backoff", backoff.String(), "err", err)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(jittered(backoff)):
 			case <-ctx.Done():
 				return nil
 			}
@@ -257,7 +268,7 @@ func (w *Worker) register(ctx context.Context) error {
 		}
 		w.log().Warn("dist: register failed, retrying", "backoff", backoff.String(), "err", err)
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jittered(backoff)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}

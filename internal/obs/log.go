@@ -17,6 +17,7 @@ import (
 //	cell        a cell's human identity (platform/mode/workload[@overrides])
 //	worker_id   a registered worker (coordinator-side id)
 //	worker      a worker's human label
+//	tenant      the admission-control identity a job bills against
 const (
 	KeyRequestID = "request_id"
 	KeyJobID     = "job_id"
@@ -24,6 +25,7 @@ const (
 	KeyCell      = "cell"
 	KeyWorkerID  = "worker_id"
 	KeyWorker    = "worker"
+	KeyTenant    = "tenant"
 )
 
 // NewLogger builds the daemon's structured logger: JSON (one object per

@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // PprofMux returns a mux carrying the standard /debug/pprof endpoints
@@ -30,7 +31,9 @@ func StartPprof(addr string) (string, func() error, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: PprofMux()}
+	// ReadHeaderTimeout evicts slowloris connections; no write timeout —
+	// /debug/pprof/profile and /trace stream for their sampling window.
+	srv := &http.Server{Handler: PprofMux(), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

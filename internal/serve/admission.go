@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission metrics. Tenant is a client-supplied label, so cardinality is
+// bounded by MaxTenants (over-capacity tenants reject under the fixed
+// "capacity" tenant label instead of minting a new series).
+var (
+	mAdmissionAccepted = obs.NewCounterVec("ohm_admission_accepted_total",
+		"Job submissions admitted, by tenant.", "tenant")
+	mAdmissionRejected = obs.NewCounterVec("ohm_admission_rejected_total",
+		"Job submissions rejected by admission control, by tenant and reason.", "tenant", "reason")
+	mAdmissionTenants = obs.NewGauge("ohm_admission_tenants",
+		"Tenants currently tracked by admission control.")
+)
+
+// Machine-readable rejection reasons (AdmissionError.Reason and the
+// "reason" field of 429 bodies).
+const (
+	// ReasonRateLimited: the tenant's token bucket is empty — submissions
+	// arrived faster than the sustained rate plus burst allowance.
+	ReasonRateLimited = "rate_limited"
+	// ReasonTenantJobs: the tenant is at its cap of live (queued or
+	// running) jobs.
+	ReasonTenantJobs = "tenant_jobs_limit"
+	// ReasonTenantCells: admitting the job would push the tenant's total
+	// outstanding cells over its cap.
+	ReasonTenantCells = "tenant_cells_limit"
+	// ReasonTenantCapacity: the server tracks its maximum number of
+	// distinct tenants and none could be evicted.
+	ReasonTenantCapacity = "tenant_capacity"
+)
+
+// DefaultTenant is the tenant a request without an X-Ohm-Tenant header
+// bills against.
+const DefaultTenant = "default"
+
+// AdmissionError is a rejected submission: which tenant, why, and how
+// long the client should wait before retrying (the Retry-After header).
+type AdmissionError struct {
+	Tenant     string
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *AdmissionError) Error() string {
+	switch e.Reason {
+	case ReasonRateLimited:
+		return fmt.Sprintf("serve: tenant %q over submit rate limit", e.Tenant)
+	case ReasonTenantJobs:
+		return fmt.Sprintf("serve: tenant %q at live-job limit", e.Tenant)
+	case ReasonTenantCells:
+		return fmt.Sprintf("serve: tenant %q at outstanding-cell limit", e.Tenant)
+	case ReasonTenantCapacity:
+		return "serve: tenant table full"
+	}
+	return fmt.Sprintf("serve: tenant %q rejected (%s)", e.Tenant, e.Reason)
+}
+
+// AdmissionConfig sets per-tenant limits. Zero values disable the
+// corresponding limit, so the zero config admits everything (as does a
+// nil *Admission).
+type AdmissionConfig struct {
+	// Rate is the sustained submissions/second each tenant may make;
+	// Burst is the bucket depth (how many submissions can arrive at once
+	// after idle). Burst defaults to max(1, Rate) when Rate is set.
+	Rate  float64
+	Burst int
+	// MaxJobs caps a tenant's live (queued or running) jobs.
+	MaxJobs int
+	// MaxCells caps a tenant's total outstanding cells across live jobs.
+	MaxCells int
+	// MaxTenants bounds the tenant table (and the metric label space);
+	// idle tenants with no live jobs are evicted to make room. 0 means
+	// the default (1024).
+	MaxTenants int
+}
+
+// defaultMaxTenants bounds tenant-table growth when unset: the tenant id
+// is client-supplied, so without a cap a scanner could mint unbounded
+// tracking state and metric series.
+const defaultMaxTenants = 1024
+
+// tenant is one tenant's admission state.
+type tenant struct {
+	tokens   float64   // current bucket level
+	refilled time.Time // last refill instant
+	jobs     int       // live (queued or running) jobs
+	cells    int       // outstanding cells across live jobs
+	seen     time.Time // last Admit, for idle eviction
+}
+
+// Admission implements per-tenant token-bucket rate limiting plus quota
+// caps on live jobs and outstanding cells. All methods are nil-safe: a
+// nil *Admission admits everything, so callers wire it only when limits
+// are configured.
+type Admission struct {
+	cfg AdmissionConfig
+	now func() time.Time // injected in tests
+
+	mu      sync.Mutex
+	tenants map[string]*tenant
+}
+
+// NewAdmission builds an admission controller with the given limits.
+func NewAdmission(cfg AdmissionConfig) *Admission {
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = int(math.Max(1, cfg.Rate))
+	}
+	if cfg.MaxTenants <= 0 {
+		cfg.MaxTenants = defaultMaxTenants
+	}
+	return &Admission{cfg: cfg, now: time.Now, tenants: make(map[string]*tenant)}
+}
+
+// get returns the tenant's state, creating it if the table has room
+// (evicting an idle tenant when full). nil means the table is full of
+// tenants with live work.
+func (a *Admission) get(name string, now time.Time) *tenant {
+	t := a.tenants[name]
+	if t != nil {
+		return t
+	}
+	if len(a.tenants) >= a.cfg.MaxTenants {
+		// Evict the longest-idle tenant with no live work; its bucket
+		// state is the only thing lost, and an idle bucket is full anyway.
+		var victim string
+		var oldest time.Time
+		for n, s := range a.tenants {
+			if s.jobs == 0 && s.cells == 0 && (victim == "" || s.seen.Before(oldest)) {
+				victim, oldest = n, s.seen
+			}
+		}
+		if victim == "" {
+			return nil
+		}
+		delete(a.tenants, victim)
+		mAdmissionTenants.Dec()
+	}
+	t = &tenant{tokens: float64(a.cfg.Burst), refilled: now, seen: now}
+	a.tenants[name] = t
+	mAdmissionTenants.Inc()
+	return t
+}
+
+// refill tops the bucket up for elapsed time.
+func (a *Admission) refill(t *tenant, now time.Time) {
+	if a.cfg.Rate <= 0 {
+		return
+	}
+	elapsed := now.Sub(t.refilled).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	t.tokens = math.Min(float64(a.cfg.Burst), t.tokens+elapsed*a.cfg.Rate)
+	t.refilled = now
+}
+
+// Admit charges one job of cells cells against the tenant, returning an
+// *AdmissionError if any limit rejects it. On success the tenant's live
+// counters include the job until Release.
+func (a *Admission) Admit(name string, cells int) error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	t := a.get(name, now)
+	if t == nil {
+		// Bill the fixed "capacity" label, not the client-supplied name:
+		// an untracked tenant must not mint a new metric series.
+		mAdmissionRejected.With("capacity", ReasonTenantCapacity).Inc()
+		return &AdmissionError{Tenant: name, Reason: ReasonTenantCapacity, RetryAfter: time.Second}
+	}
+	t.seen = now
+	a.refill(t, now)
+	if a.cfg.MaxJobs > 0 && t.jobs >= a.cfg.MaxJobs {
+		mAdmissionRejected.With(name, ReasonTenantJobs).Inc()
+		return &AdmissionError{Tenant: name, Reason: ReasonTenantJobs, RetryAfter: time.Second}
+	}
+	if a.cfg.MaxCells > 0 && t.cells+cells > a.cfg.MaxCells {
+		mAdmissionRejected.With(name, ReasonTenantCells).Inc()
+		return &AdmissionError{Tenant: name, Reason: ReasonTenantCells, RetryAfter: time.Second}
+	}
+	if a.cfg.Rate > 0 {
+		if t.tokens < 1 {
+			mAdmissionRejected.With(name, ReasonRateLimited).Inc()
+			// Time until one token accrues, rounded up to whole seconds
+			// for the Retry-After header (min 1s).
+			wait := time.Duration(math.Ceil((1-t.tokens)/a.cfg.Rate)) * time.Second
+			if wait < time.Second {
+				wait = time.Second
+			}
+			return &AdmissionError{Tenant: name, Reason: ReasonRateLimited, RetryAfter: wait}
+		}
+		t.tokens--
+	}
+	t.jobs++
+	t.cells += cells
+	mAdmissionAccepted.With(name).Inc()
+	return nil
+}
+
+// Restore re-counts a journal-replayed live job against its tenant
+// without consuming rate tokens: replay is the server's doing, not
+// client traffic.
+func (a *Admission) Restore(name string, cells int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.now()
+	t := a.get(name, now)
+	if t == nil {
+		return // table full of live tenants; the job still runs, uncounted
+	}
+	t.jobs++
+	t.cells += cells
+}
+
+// Release returns a terminal job's quota to its tenant.
+func (a *Admission) Release(name string, cells int) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.tenants[name]
+	if t == nil {
+		return
+	}
+	t.jobs--
+	t.cells -= cells
+	if t.jobs < 0 {
+		t.jobs = 0
+	}
+	if t.cells < 0 {
+		t.cells = 0
+	}
+}
+
+// Tenants returns how many tenants are tracked (tests and health).
+func (a *Admission) Tenants() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.tenants)
+}

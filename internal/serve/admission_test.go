@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+)
+
+// fakeClock drives an Admission's token buckets deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestAdmission(cfg AdmissionConfig) (*Admission, *fakeClock) {
+	a := NewAdmission(cfg)
+	clk := &fakeClock{t: time.Unix(1_700_000_000, 0)}
+	a.now = clk.now
+	return a, clk
+}
+
+func wantReason(t *testing.T, err error, reason string) *AdmissionError {
+	t.Helper()
+	var adm *AdmissionError
+	if !errors.As(err, &adm) {
+		t.Fatalf("err = %v, want *AdmissionError", err)
+	}
+	if adm.Reason != reason {
+		t.Fatalf("reason = %q, want %q", adm.Reason, reason)
+	}
+	if adm.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter = %v, want >= 1s", adm.RetryAfter)
+	}
+	return adm
+}
+
+// TestAdmissionRateLimit exercises the token bucket: burst admits, then
+// rejections with a Retry-After that shrinks as the bucket refills.
+func TestAdmissionRateLimit(t *testing.T) {
+	a, clk := newTestAdmission(AdmissionConfig{Rate: 1, Burst: 2})
+	if err := a.Admit("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	wantReason(t, a.Admit("alice", 0), ReasonRateLimited)
+	// One second at 1/s refills one token.
+	clk.advance(time.Second)
+	if err := a.Admit("alice", 0); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+	wantReason(t, a.Admit("alice", 0), ReasonRateLimited)
+}
+
+// TestAdmissionQuotaCaps exercises the live-job and outstanding-cell
+// caps, including Release returning quota.
+func TestAdmissionQuotaCaps(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{MaxJobs: 2, MaxCells: 100})
+	if err := a.Admit("bob", 60); err != nil {
+		t.Fatal(err)
+	}
+	// Cells cap: 60 outstanding, +50 would exceed 100.
+	wantReason(t, a.Admit("bob", 50), ReasonTenantCells)
+	if err := a.Admit("bob", 40); err != nil {
+		t.Fatal(err)
+	}
+	// Jobs cap: two live jobs is the limit.
+	wantReason(t, a.Admit("bob", 0), ReasonTenantJobs)
+	// Terminal job returns its quota.
+	a.Release("bob", 60)
+	if err := a.Admit("bob", 60); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestAdmissionTenantIsolation: one tenant exhausting its limits must not
+// affect another.
+func TestAdmissionTenantIsolation(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{Rate: 1, Burst: 1, MaxJobs: 1})
+	if err := a.Admit("alice", 0); err != nil {
+		t.Fatal(err)
+	}
+	wantReason(t, a.Admit("alice", 0), ReasonTenantJobs)
+	if err := a.Admit("bob", 0); err != nil {
+		t.Fatalf("bob throttled by alice: %v", err)
+	}
+}
+
+// TestAdmissionRestoreSkipsTokens: journal replay re-counts quota without
+// spending rate tokens.
+func TestAdmissionRestoreSkipsTokens(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{Rate: 1, Burst: 1, MaxJobs: 2})
+	a.Restore("alice", 10)
+	// The bucket is untouched: a fresh submission still has its burst.
+	if err := a.Admit("alice", 0); err != nil {
+		t.Fatalf("restore consumed tokens: %v", err)
+	}
+	// But the restored job counts against MaxJobs.
+	wantReason(t, a.Admit("alice", 0), ReasonTenantJobs)
+}
+
+// TestAdmissionTenantTableBound: the tenant table cannot be grown without
+// limit by a client minting tenant ids; idle tenants are evicted to make
+// room and tenants with live work are not.
+func TestAdmissionTenantTableBound(t *testing.T) {
+	a, _ := newTestAdmission(AdmissionConfig{MaxJobs: 4, MaxTenants: 3})
+	for _, name := range []string{"a", "b", "c"} {
+		if err := a.Admit(name, 0); err != nil {
+			t.Fatal(err)
+		}
+		a.Release(name, 0) // all idle
+	}
+	if err := a.Admit("d", 0); err != nil {
+		t.Fatalf("idle tenant not evicted: %v", err)
+	}
+	if n := a.Tenants(); n != 3 {
+		t.Fatalf("tenants = %d, want 3", n)
+	}
+	// Now fill the table with live work: no evictable victim remains.
+	a2, _ := newTestAdmission(AdmissionConfig{MaxJobs: 4, MaxTenants: 2})
+	if err := a2.Admit("x", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Admit("y", 0); err != nil {
+		t.Fatal(err)
+	}
+	wantReason(t, a2.Admit("z", 0), ReasonTenantCapacity)
+}
+
+// TestAdmissionNil: a nil controller admits everything (the manager's
+// default wiring).
+func TestAdmissionNil(t *testing.T) {
+	var a *Admission
+	if err := a.Admit("anyone", 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	a.Release("anyone", 1<<30)
+	a.Restore("anyone", 1)
+	if a.Tenants() != 0 {
+		t.Fatal("nil admission tracks tenants")
+	}
+}
+
+// TestHTTPAdmission429 pins the HTTP contract: over-limit submissions
+// answer 429 with a Retry-After header and a machine-readable JSON body;
+// jobs carry their tenant in status; malformed tenant headers answer 400.
+func TestHTTPAdmission429(t *testing.T) {
+	runner := &batch.Runner{Workers: 1, Cache: batch.NewMemCache(), RunFn: fakeRun}
+	a := newAPI(t, runner, 1, 8)
+	a.m.Admission = NewAdmission(AdmissionConfig{Rate: 1.0 / 3600, Burst: 2})
+
+	body := `{"spec":{"platforms":["ohm-base"],"modes":["planar"],"workloads":["lud"]}}`
+
+	// Two submissions fit the burst; the third must 429.
+	for i := 0; i < 2; i++ {
+		code, data := a.do("POST", "/v1/sweeps", body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit %d = %d: %s", i, code, data)
+		}
+		var st Status
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Tenant != DefaultTenant {
+			t.Fatalf("tenant = %q, want %q", st.Tenant, DefaultTenant)
+		}
+	}
+	req, err := http.NewRequest("POST", a.ts.URL+"/v1/sweeps", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := a.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-burst submit = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want positive seconds", ra)
+	}
+	var rej struct {
+		Error             string `json:"error"`
+		Reason            string `json:"reason"`
+		Tenant            string `json:"tenant"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rej); err != nil {
+		t.Fatal(err)
+	}
+	if rej.Reason != ReasonRateLimited || rej.Tenant != DefaultTenant || rej.RetryAfterSeconds < 1 {
+		t.Fatalf("429 body = %+v", rej)
+	}
+
+	// A different tenant has its own bucket.
+	req2, _ := http.NewRequest("POST", a.ts.URL+"/v1/sweeps", strings.NewReader(body))
+	req2.Header.Set(TenantHeader, "team-ml")
+	resp2, err := a.ts.Client().Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("fresh tenant = %d, want 202", resp2.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Tenant != "team-ml" {
+		t.Fatalf("tenant = %q, want team-ml", st.Tenant)
+	}
+
+	// Malformed tenant ids are a client error, not a new tenant.
+	req3, _ := http.NewRequest("POST", a.ts.URL+"/v1/sweeps", strings.NewReader(body))
+	req3.Header.Set(TenantHeader, "bad tenant!")
+	resp3, err := a.ts.Client().Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad tenant header = %d, want 400", resp3.StatusCode)
+	}
+}

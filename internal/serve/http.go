@@ -2,9 +2,12 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/config"
@@ -127,6 +130,39 @@ const maxSubmitBytes = 4 << 20
 // result endpoint returns (resultUnavailable.Reason).
 const ReasonJobCancelled = "job_cancelled"
 
+// ReasonResultLost marks a done job whose result payload did not survive
+// a coordinator restart: the journal replays job status, but rendered
+// results lived only in the crashed process's memory. Resubmitting the
+// same request recomputes it warm from the result cache.
+const ReasonResultLost = "result_lost_on_restart"
+
+// TenantHeader names the request header that selects the admission
+// tenant a submission bills against; absent means DefaultTenant.
+const TenantHeader = "X-Ohm-Tenant"
+
+// maxTenantLen bounds the client-supplied tenant id (it becomes a metric
+// label and a journal field).
+const maxTenantLen = 64
+
+// tenantFrom extracts and validates the tenant identity of a request.
+func tenantFrom(r *http.Request) (string, error) {
+	name := r.Header.Get(TenantHeader)
+	if name == "" {
+		return DefaultTenant, nil
+	}
+	if len(name) > maxTenantLen {
+		return "", fmt.Errorf("tenant id longer than %d bytes", maxTenantLen)
+	}
+	for _, c := range name {
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '-' || c == '_' || c == '.' {
+			continue
+		}
+		return "", fmt.Errorf("tenant id %q: only [A-Za-z0-9._-] allowed", name)
+	}
+	return name, nil
+}
+
 // resultUnavailable is the structured body of GET /v1/jobs/{id}/result
 // when the job reached a terminal state without a result. Error keeps the
 // human sentence every other error body carries; State and Reason are for
@@ -138,6 +174,11 @@ type resultUnavailable struct {
 }
 
 func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	tenant, err := tenantFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad %s header: %v", TenantHeader, err)
+		return
+	}
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
@@ -145,11 +186,26 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	job, err := m.Submit(req)
+	job, err := m.SubmitAs(tenant, req)
+	var adm *AdmissionError
 	switch {
 	case err == nil:
 		w.Header().Set("Location", "/v1/jobs/"+job.ID())
 		writeJSON(w, http.StatusAccepted, job.Status())
+	case errors.As(err, &adm):
+		// Over-limit tenants get 429 with Retry-After and a machine-
+		// readable reason so clients can back off without string-matching.
+		secs := int(adm.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, map[string]interface{}{
+			"error":               adm.Error(),
+			"reason":              adm.Reason,
+			"tenant":              adm.Tenant,
+			"retry_after_seconds": secs,
+		})
 	case err == ErrQueueFull, err == ErrDraining:
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
@@ -167,6 +223,17 @@ func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 	st := job.Status()
 	switch st.State {
 	case StateDone:
+		if !job.hasResult() {
+			// Done before a restart: the journal replayed the status but
+			// the rendered payload is gone. 410 with the reason; a warm
+			// resubmit of the same request recomputes it from the cache.
+			writeJSON(w, http.StatusGone, resultUnavailable{
+				Error:  fmt.Sprintf("job %s finished before a server restart; its result payload was not retained — resubmit to recompute from cache", st.ID),
+				State:  st.State,
+				Reason: ReasonResultLost,
+			})
+			return
+		}
 	case StateFailed:
 		writeError(w, http.StatusInternalServerError, "job failed: %s", st.Error)
 		return

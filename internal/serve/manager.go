@@ -131,6 +131,7 @@ type Status struct {
 	ID         string     `json:"id"`
 	Kind       string     `json:"kind"`
 	Experiment string     `json:"experiment,omitempty"`
+	Tenant     string     `json:"tenant,omitempty"`
 	State      State      `json:"state"`
 	CellsTotal int        `json:"cells_total"`
 	CellsDone  int        `json:"cells_done"`
@@ -140,6 +141,10 @@ type Status struct {
 	Created    time.Time  `json:"created"`
 	Started    *time.Time `json:"started,omitempty"`
 	Finished   *time.Time `json:"finished,omitempty"`
+	// Replayed marks a job reconstructed from the journal after a
+	// restart. Replayed terminal jobs keep their status but not their
+	// result payload (see GET /v1/jobs/{id}/result's 410 contract).
+	Replayed bool `json:"replayed,omitempty"`
 	// Timing is the job's machine-readable time breakdown, present once
 	// the job has started; durations are integer nanoseconds.
 	Timing *Timing `json:"timing,omitempty"`
@@ -162,6 +167,23 @@ type Timing struct {
 type Job struct {
 	id  string
 	req Request
+	// orig is the request exactly as the client submitted it, before
+	// prepare canonicalized it. The journal stores this form: prepare
+	// rejects an already-prepared request (a canonicalized scenario
+	// carries both Scenario and Spec), so replay must re-prepare from
+	// the original.
+	orig Request
+	// tenant is the admission-control identity the job bills against.
+	tenant string
+	// admCells is what Admit charged (sweep cell count; 0 for
+	// experiment jobs, whose totals grow as the driver runs), returned
+	// by Release when the job goes terminal.
+	admCells int
+	// replayed marks a job reconstructed from the journal.
+	replayed bool
+	// released guards double-release of admission quota (run vs
+	// queued-cancel both reach terminal accounting). Guarded by mu.
+	released bool
 
 	mu         sync.Mutex
 	state      State
@@ -195,6 +217,8 @@ func (j *Job) Status() Status {
 		ID:         j.id,
 		Kind:       j.req.Kind(),
 		Experiment: j.req.Experiment,
+		Tenant:     j.tenant,
+		Replayed:   j.replayed,
 		State:      j.state,
 		CellsTotal: j.cellsTotal,
 		CellsDone:  j.cellsDone,
@@ -252,6 +276,14 @@ type Manager struct {
 	// Logger, when non-nil, receives job lifecycle events (submitted,
 	// started, finished) tagged with job ids. Set before the first Submit.
 	Logger *slog.Logger
+
+	// Journal, when non-nil, durably records job lifecycle so a restart
+	// replays it (see Recover). Set before the first Submit.
+	Journal *Journal
+
+	// Admission, when non-nil, applies per-tenant rate limits and quota
+	// caps to submissions. Set before the first Submit.
+	Admission *Admission
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -392,13 +424,20 @@ func (m *Manager) Health() Health {
 	return h
 }
 
-// Submit validates and enqueues a job. The expanded cell list prepare
-// built for validation is deliberately dropped: a few hundred bytes of
-// spec may expand to ~MaxCells cells, and pinning that on every queued job
-// would amplify small submissions into resident memory — run() re-expands
-// (microseconds) when the job actually starts.
+// Submit validates and enqueues a job under the default tenant.
 func (m *Manager) Submit(req Request) (*Job, error) {
-	req, _, err := req.prepare()
+	return m.SubmitAs(DefaultTenant, req)
+}
+
+// SubmitAs validates and enqueues a job billed to the given tenant. The
+// expanded cell list prepare built for validation is deliberately
+// dropped: a few hundred bytes of spec may expand to ~MaxCells cells,
+// and pinning that on every queued job would amplify small submissions
+// into resident memory — run() re-expands (microseconds) when the job
+// actually starts.
+func (m *Manager) SubmitAs(tenantName string, req Request) (*Job, error) {
+	orig := req
+	req, cells, err := req.prepare()
 	if err != nil {
 		return nil, err
 	}
@@ -412,12 +451,31 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	if len(m.pending) >= m.depth {
 		return nil, ErrQueueFull
 	}
+	// Admission runs after the cheap structural checks so a full queue
+	// answers 503 (server pressure) rather than charging tenant tokens.
+	if err := m.Admission.Admit(tenantName, len(cells)); err != nil {
+		return nil, err
+	}
 	m.seq++
 	job := &Job{
-		id:      fmt.Sprintf("job-%06d", m.seq),
-		req:     req,
-		state:   StateQueued,
-		created: time.Now().UTC(),
+		id:       fmt.Sprintf("job-%06d", m.seq),
+		req:      req,
+		orig:     orig,
+		tenant:   tenantName,
+		admCells: len(cells),
+		state:    StateQueued,
+		created:  time.Now().UTC(),
+	}
+	// Durably record the submission before it becomes visible: a job the
+	// journal never saw would silently vanish on restart. On journal
+	// failure the submission is refused whole (quota returned, seq burned).
+	if m.Journal != nil {
+		if err := m.Journal.Submit(job.id, tenantName, orig, job.created); err != nil {
+			m.Admission.Release(tenantName, job.admCells)
+			m.log().Error("journal append failed; submission refused",
+				obs.KeyJobID, job.id, "err", err.Error())
+			return nil, err
+		}
 	}
 	m.pending = append(m.pending, job)
 	m.jobs[job.id] = job
@@ -427,7 +485,7 @@ func (m *Manager) Submit(req Request) (*Job, error) {
 	mJobsQueued.Inc()
 	m.log().Info("job submitted",
 		obs.KeyJobID, job.id, "kind", req.Kind(), "experiment", req.Experiment,
-		"queued", len(m.pending))
+		obs.KeyTenant, tenantName, "queued", len(m.pending))
 	return job, nil
 }
 
@@ -465,10 +523,12 @@ func (m *Manager) Cancel(id string) bool {
 	}
 	job.mu.Lock()
 	var cancel context.CancelFunc
+	var finished bool
 	switch job.state {
 	case StateQueued:
 		job.state = StateCancelled
 		job.finished = time.Now().UTC()
+		finished = true
 		for i, p := range m.pending {
 			if p == job {
 				m.pending = append(m.pending[:i], m.pending[i+1:]...)
@@ -479,16 +539,32 @@ func (m *Manager) Cancel(id string) bool {
 		// Cancelled before a worker picked it up: this is its terminal
 		// accounting (run() never sees it, or early-returns).
 		mJobsFinished.With(string(StateCancelled)).Inc()
+		m.releaseLocked(job)
 		m.log().Info("job cancelled while queued", obs.KeyJobID, job.id)
 	case StateRunning:
 		cancel = job.cancel
 	}
 	job.mu.Unlock()
 	m.mu.Unlock()
+	if finished && m.Journal != nil {
+		if err := m.Journal.Finish(job.id, StateCancelled, "", job.finished); err != nil {
+			m.log().Warn("journal finish failed", obs.KeyJobID, job.id, "err", err.Error())
+		}
+	}
 	if cancel != nil {
 		cancel()
 	}
 	return true
+}
+
+// releaseLocked returns a terminal job's admission quota exactly once.
+// Caller holds job.mu.
+func (m *Manager) releaseLocked(job *Job) {
+	if job.released {
+		return
+	}
+	job.released = true
+	m.Admission.Release(job.tenant, job.admCells)
 }
 
 // worker executes queued jobs until shutdown empties the queue.
@@ -535,9 +611,16 @@ func (m *Manager) run(job *Job) {
 	ctx = obs.WithSpan(ctx, span)
 
 	mJobsRunning.Inc()
+	if m.Journal != nil {
+		// Unsynced: losing this record replays the job as queued, which
+		// is what a restart does with running jobs anyway.
+		if err := m.Journal.Start(job.id, job.started); err != nil {
+			m.log().Warn("journal start failed", obs.KeyJobID, job.id, "err", err.Error())
+		}
+	}
 	m.log().Info("job started",
 		obs.KeyJobID, job.id, "kind", job.req.Kind(), "experiment", job.req.Experiment,
-		"queue_wait", queueWait.String())
+		obs.KeyTenant, job.tenant, "queue_wait", queueWait.String())
 
 	// progress folds every batch the job submits into cumulative per-cell
 	// counters. Drivers submit batches sequentially, so tracking one open
@@ -554,7 +637,14 @@ func (m *Manager) run(job *Job) {
 		if done == total {
 			job.batchBase += total
 		}
+		cd, ct, ch, cs := job.cellsDone, job.cellsTotal, job.cacheHits, job.simulated
 		job.mu.Unlock()
+		// Watermark every 16th cell (and batch boundaries): purely
+		// informational across restarts — replay re-runs the job warm
+		// from the cache regardless — so the journal grows slowly.
+		if m.Journal != nil && (done == total || cd%16 == 0) {
+			_ = m.Journal.Cells(job.id, cd, ct, ch, cs)
+		}
 	}
 
 	var err error
@@ -604,20 +694,179 @@ func (m *Manager) run(job *Job) {
 	state := job.state
 	runFor := job.finished.Sub(job.started)
 	done, hits := job.cellsDone, job.cacheHits
+	finishedAt, errMsg := job.finished, job.errMsg
+	m.releaseLocked(job)
 	job.mu.Unlock()
 
 	mJobsRunning.Dec()
 	mJobsFinished.With(string(state)).Inc()
 	mJobDuration.ObserveDuration(runFor)
+	if m.Journal != nil {
+		if jerr := m.Journal.Finish(job.id, state, errMsg, finishedAt); jerr != nil {
+			m.log().Warn("journal finish failed", obs.KeyJobID, job.id, "err", jerr.Error())
+		}
+	}
 	lvl := slog.LevelInfo
 	if state == StateFailed {
 		lvl = slog.LevelWarn
 	}
 	m.log().Log(context.Background(), lvl, "job finished",
-		obs.KeyJobID, job.id, "state", string(state),
+		obs.KeyJobID, job.id, "state", string(state), obs.KeyTenant, job.tenant,
 		"cells", done, "cache_hits", hits,
 		"duration", runFor.String(), "err", job.errMsg)
 	m.pruneFinished()
+	if m.Journal != nil && m.Journal.NeedsCompaction() {
+		if err := m.compactJournal(); err != nil {
+			m.log().Warn("journal compaction failed", "err", err.Error())
+		}
+	}
+}
+
+// hasResult reports whether the job holds a renderable result payload.
+// Journal-replayed terminal jobs keep their status but not their result
+// (payloads lived only in the crashed process's memory).
+func (j *Job) hasResult() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result != nil || j.reports != nil
+}
+
+// compactJournal rewrites the journal as one record per remembered job:
+// terminal jobs fold to archived one-liners (status only — their result
+// payloads are in memory and their cells in the result cache), live jobs
+// to fresh submit records. Start/watermark noise from job execution is
+// what compaction exists to shed.
+func (m *Manager) compactJournal() error {
+	m.mu.Lock()
+	recs := make([]journalRecord, 0, len(m.order))
+	for _, id := range m.order {
+		job := m.jobs[id]
+		st := job.Status() // lock order: m.mu before job.mu
+		if st.State.Terminal() {
+			recs = append(recs, journalRecord{
+				T: recArchived, ID: id, Tenant: job.tenant,
+				State: st.State, Error: st.Error,
+				Kind: st.Kind, Experiment: st.Experiment,
+				Created: st.Created, Finished: *st.Finished,
+				Done: st.CellsDone, Total: st.CellsTotal,
+				Hits: st.CacheHits, Sim: st.Simulated,
+			})
+		} else {
+			recs = append(recs, journalRecord{
+				T: recSubmit, ID: id, Tenant: job.tenant,
+				Req: &job.orig, At: st.Created,
+			})
+		}
+	}
+	m.mu.Unlock()
+	return m.Journal.Compact(recs)
+}
+
+// Recover loads journal-replayed jobs into the manager: terminal jobs
+// re-enter bounded history (status queryable, result payload gone), jobs
+// that were queued or running re-queue and run again — warm, since every
+// cell they completed is already in the content-addressed result cache,
+// so the re-run is byte-identical with near-zero recomputation. Call
+// once, after setting Journal/Admission/Executor and before serving
+// traffic. Replayed live jobs keep their original ids; the id sequence
+// resumes past the highest replayed id.
+func (m *Manager) Recover(replayed []ReplayedJob) {
+	if len(replayed) == 0 {
+		return
+	}
+	requeued, terminal, failed := 0, 0, 0
+	for _, r := range replayed {
+		m.mu.Lock()
+		if r.ID == "" || m.jobs[r.ID] != nil {
+			m.mu.Unlock()
+			continue
+		}
+		if s := jobSeq(r.ID); s > m.seq {
+			m.seq = s
+		}
+		job := &Job{
+			id:       r.ID,
+			orig:     r.Req,
+			tenant:   r.Tenant,
+			replayed: true,
+			created:  r.Created,
+		}
+		if r.Terminal() {
+			job.state = r.State
+			job.errMsg = r.Error
+			job.finished = r.Finished
+			if job.finished.IsZero() {
+				job.finished = job.created
+			}
+			job.released = true // terminal before the crash; nothing charged
+			job.req = r.Req
+			if job.req.Kind() != r.Kind && r.Kind != "" {
+				// Archived records drop the request; keep Kind honest by
+				// reconstructing the minimal shape Status needs.
+				job.req = Request{Experiment: r.Experiment}
+				if r.Kind == "sweep" {
+					job.req = Request{Spec: &batch.SweepSpec{}}
+				}
+			}
+			job.cellsDone, job.cellsTotal = r.Done, r.Total
+			job.cacheHits, job.simulated = r.Hits, r.Sim
+			m.jobs[job.id] = job
+			m.order = append(m.order, job.id)
+			m.mu.Unlock()
+			terminal++
+			mJournalReplayed.With("terminal").Inc()
+			continue
+		}
+		// Live at the crash: re-prepare the original request and re-queue.
+		req, cells, err := r.Req.prepare()
+		if err != nil {
+			// The request no longer validates (registry or schema moved
+			// under it across the restart): record a failed job rather
+			// than dropping it silently.
+			job.state = StateFailed
+			job.errMsg = fmt.Sprintf("replay: %v", err)
+			job.finished = time.Now().UTC()
+			job.released = true
+			job.req = r.Req
+			m.jobs[job.id] = job
+			m.order = append(m.order, job.id)
+			m.mu.Unlock()
+			if m.Journal != nil {
+				_ = m.Journal.Finish(job.id, StateFailed, job.errMsg, job.finished)
+			}
+			failed++
+			mJournalReplayed.With("failed").Inc()
+			m.log().Warn("replayed job no longer valid",
+				obs.KeyJobID, job.id, "err", err.Error())
+			continue
+		}
+		job.req = req
+		job.state = StateQueued
+		job.admCells = len(cells)
+		// Re-count quota without charging rate tokens: replay is the
+		// server's doing, not client traffic.
+		m.Admission.Restore(job.tenant, job.admCells)
+		m.pending = append(m.pending, job)
+		m.jobs[job.id] = job
+		m.order = append(m.order, job.id)
+		m.cond.Signal()
+		mJobsQueued.Inc()
+		m.mu.Unlock()
+		requeued++
+		mJournalReplayed.With("requeued").Inc()
+		m.log().Info("job replayed from journal",
+			obs.KeyJobID, job.id, obs.KeyTenant, job.tenant,
+			"kind", job.req.Kind(), "experiment", job.req.Experiment,
+			"cells_done_before_crash", r.Done, "cells_total", r.Total)
+	}
+	m.pruneFinished()
+	if m.Journal != nil {
+		if err := m.compactJournal(); err != nil {
+			m.log().Warn("journal compaction failed", "err", err.Error())
+		}
+	}
+	m.log().Info("journal replayed",
+		"requeued", requeued, "terminal", terminal, "invalid", failed)
 }
 
 // pruneFinished evicts the oldest terminal jobs beyond the retention

@@ -11,7 +11,15 @@
 #      result byte-identical to a single-process `ohmbatch` run;
 #   4. /metrics on the coordinator AND on a worker serves valid Prometheus
 #      text (scraped mid-sweep too), with the key series — cells completed,
-#      leases granted, cache hits — consistent with the job results above.
+#      leases granted, cache hits — consistent with the job results above;
+#   5. kill -9 on the COORDINATOR mid-sweep, restarted on the same cache
+#      dir + journal, replays the in-flight job under its original id: the
+#      surviving worker re-registers, pre-crash cells come from the cache,
+#      and the result is byte-identical to a single-process run;
+#   6. a coordinator restarted with a tight per-tenant rate answers
+#      over-quota submissions 429 + Retry-After (admission metrics
+#      accounted), and a tight -cache-max-bytes budget evicts on startup
+#      (eviction metrics accounted).
 #
 # CI runs this; it also works locally: scripts/dist_e2e.sh
 set -euo pipefail
@@ -34,16 +42,24 @@ addr="127.0.0.1:18099"
 base="http://$addr"
 w2metrics="http://127.0.0.1:18100"
 
-echo "== starting coordinator ($addr, pure dispatch)"
-"$work/ohmserve" -addr "$addr" -cache "$work/coord-cache" -local-cells -1 \
-    -lease-ttl 3s -lease-poll 2s >"$work/coord.log" 2>&1 &
-pids+=($!)
+# start_coord [extra flags...]: (re)start the coordinator on the same
+# address, cache dir and journal, wait for healthz, record its pid in
+# $coord. Restarting on the same dirs is exactly the crash-recovery path.
+coord=""
+start_coord() {
+    "$work/ohmserve" -addr "$addr" -cache "$work/coord-cache" -local-cells -1 \
+        -lease-ttl 3s -lease-poll 2s "$@" >>"$work/coord.log" 2>&1 &
+    coord=$!
+    pids+=($coord)
+    for _ in $(seq 1 100); do
+        curl -fsS "$base/v1/healthz" >/dev/null 2>&1 && break
+        sleep 0.1
+    done
+    curl -fsS "$base/v1/healthz" >/dev/null
+}
 
-for _ in $(seq 1 100); do
-    curl -fsS "$base/v1/healthz" >/dev/null 2>&1 && break
-    sleep 0.1
-done
-curl -fsS "$base/v1/healthz" >/dev/null
+echo "== starting coordinator ($addr, pure dispatch)"
+start_coord
 
 echo "== starting 2 workers"
 "$work/ohmserve" -worker -join "$base" -worker-name w1 -cache "$work/w1-cache" >"$work/w1.log" 2>&1 &
@@ -58,10 +74,10 @@ submit() {
     curl -fsS -X POST "$base/v1/sweeps" -d "$1" |
         python3 -c 'import sys,json; print(json.load(sys.stdin)["id"])'
 }
-# field <job> <field> -> value
+# field <job> <field> -> value (empty when omitted, e.g. omitempty bools)
 field() {
     curl -fsS "$base/v1/jobs/$1" |
-        python3 -c "import sys,json; print(json.load(sys.stdin)[\"$2\"])"
+        python3 -c "import sys,json; print(json.load(sys.stdin).get(\"$2\",\"\"))"
 }
 # mval <base-url> <literal-series> -> value (0 when the series is absent)
 mval() {
@@ -182,5 +198,71 @@ assert_ge "$(mval "$w2metrics" ohm_cells_completed_total)" 1 "worker ohm_cells_c
 assert_ge "$(mval "$base" ohm_dist_leases_expired_total)" 1 ohm_dist_leases_expired_total
 assert_ge "$(mval "$base" ohm_dist_requeued_total)" 1 ohm_dist_requeued_total
 echo "   worker completions, lease expiries and requeues all visible"
+
+echo "== 4. kill -9 the COORDINATOR mid-sweep, restart, replay the job"
+# Fresh cells (distinct from every earlier phase) sized to run seconds
+# each, so the coordinator provably dies with the sweep in flight.
+spec='{"platforms":["origin","ohm-base","ohm-bw"],"modes":["planar"],"workloads":["sssp","betw","gctopo"],"max_instructions":400000}'
+job=$(submit "{\"spec\":$spec}")
+# Wait until at least one cell is durably finished (journaled + cached),
+# then hard-kill the coordinator: no drain, no journal close.
+for _ in $(seq 1 300); do
+    [ "$(field "$job" cells_done)" != "0" ] && break
+    sleep 0.1
+done
+kill -9 "$coord" 2>/dev/null || true
+wait "$coord" 2>/dev/null || true
+echo "   coordinator killed with $job in flight; restarting on the same journal"
+start_coord
+state=$(field "$job" state)
+if [ -z "$state" ]; then
+    echo "job $job did not survive the restart" >&2
+    exit 1
+fi
+wait_done "$job" 300
+if [ "$(field "$job" replayed)" != "True" ]; then
+    echo "job $job finished without the replayed marker" >&2
+    exit 1
+fi
+hits=$(field "$job" cache_hits)
+assert_ge "$hits" 1 "replayed job cache_hits (pre-crash cells must survive)"
+curl -fsS "$base/v1/jobs/$job/result" >"$work/replayed.dist.json"
+echo "$spec" >"$work/replay.spec.json"
+"$work/ohmbatch" -spec "$work/replay.spec.json" -cache "$work/batch-cache" -q -o "$work/replayed.local.json"
+cmp "$work/replayed.dist.json" "$work/replayed.local.json"
+echo "   replayed with $hits pre-crash cells from cache; bytes identical to ohmbatch"
+assert_ge "$(mval "$base" 'ohm_journal_replayed_jobs_total{disposition="requeued"}')" 1 'ohm_journal_replayed_jobs_total{disposition=requeued}'
+
+echo "== 5. over-quota submissions answer 429; tight cache budget evicts"
+kill -9 "$coord" 2>/dev/null || true
+wait "$coord" 2>/dev/null || true
+start_coord -tenant-rate 0.001 -tenant-burst 2 -cache-max-bytes 4KB
+assert_ge "$(mval "$base" ohm_cache_evictions_total)" 1 ohm_cache_evictions_total
+assert_ge "$(mval "$base" ohm_cache_reclaimed_bytes_total)" 1 ohm_cache_reclaimed_bytes_total
+echo "   startup GC evicted down to the 4KB budget"
+tiny='{"spec":{"platforms":["origin"],"modes":["planar"],"workloads":["lud"],"max_instructions":150000}}'
+j1=$(submit "$tiny")
+j2=$(submit "$tiny")
+code=$(curl -sS -o "$work/reject.json" -w '%{http_code}' -X POST "$base/v1/sweeps" -d "$tiny")
+if [ "$code" != "429" ]; then
+    echo "over-burst submit = HTTP $code, want 429: $(cat "$work/reject.json")" >&2
+    exit 1
+fi
+retry=$(curl -sS -o /dev/null -D - -X POST "$base/v1/sweeps" -d "$tiny" |
+    tr -d '\r' | awk 'tolower($1)=="retry-after:" {print $2}')
+assert_ge "${retry:-0}" 1 "Retry-After header seconds"
+python3 -c '
+import json,sys
+r = json.load(open(sys.argv[1]))
+assert r["reason"] == "rate_limited", r
+assert r["tenant"] == "default", r
+assert r["retry_after_seconds"] >= 1, r' "$work/reject.json"
+check_expo "$base" coordinator
+assert_ge "$(mval "$base" ohm_admission_accepted_total'{tenant="default"}')" 2 'ohm_admission_accepted_total{tenant=default}'
+assert_ge "$(mval "$base" ohm_admission_rejected_total'{tenant="default",reason="rate_limited"}')" 1 ohm_admission_rejected_total
+assert_ge "$(mval "$base" ohm_admission_tenants)" 1 ohm_admission_tenants
+wait_done "$j1" 120
+wait_done "$j2" 120
+echo "   429 + Retry-After with machine-readable reason; admission series accounted"
 
 echo "== distributed e2e OK"
