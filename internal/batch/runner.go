@@ -9,9 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Runner executes sweep cells on a pool of worker goroutines. Each cell is
@@ -147,6 +149,29 @@ func (r *Runner) Run(cells []Cell) ([]stats.Report, error) {
 func (r *Runner) RunContext(ctx context.Context, cells []Cell, progress Progress) ([]stats.Report, error) {
 	reports := make([]stats.Report, len(cells))
 	errs := make([]error, len(cells))
+
+	// Pin every distinct trace this sweep will read before any cell runs:
+	// cells then borrow the one resident trace from the registry, and its
+	// LRU bound cannot evict a sweep's trace between two cells that share
+	// it (which would generate it twice). Pinning is an upper bound — a
+	// cell served from the result cache never touches its trace — and
+	// RunFn cells are opaque, so they are not pinned.
+	var pins trace.Pins
+	defer pins.Release()
+	for i := range cells {
+		c := &cells[i]
+		if c.RunFn != nil {
+			continue
+		}
+		switch {
+		case c.WorkloadDef != nil:
+			pins.Add(*c.WorkloadDef, &c.Config)
+		case r.RunFn == nil:
+			if w, ok := config.WorkloadByName(c.Workload); ok {
+				pins.Add(w, &c.Config)
+			}
+		}
+	}
 
 	var pmu sync.Mutex
 	completed := 0
@@ -338,6 +363,13 @@ joinFlight:
 // documents "misses that ran a simulation". The phase split is measured
 // for the default simulation paths; a custom RunFn is opaque, so its
 // phases stay zero and only the cell's wall time is observable.
+//
+// The default paths build the platform into a pooled core.RunState, so
+// consecutive cells on one worker reuse the previous cell's device arrays
+// and arenas instead of reallocating them. Reports are value snapshots,
+// so releasing the state after the run never aliases a returned report.
+// RunFn cells bypass the pool: a closure's construction is opaque, so
+// there is nothing to rebuild in place (see docs/reference/pooling.md).
 func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, obs.Phases, error) {
 	if err := r.acquire(ctx); err != nil {
 		return stats.Report{}, obs.Phases{}, err
@@ -352,13 +384,17 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, obs.Phases
 		// Runner.RunFn — which only sees the workload *name* — would run
 		// the Table II namesake (or fail on an unknown name) while the
 		// cache keyed on the custom definition.
-		return core.RunWorkloadDefTimed(c.Config, *c.WorkloadDef)
+		st := core.AcquireRunState()
+		defer core.ReleaseRunState(st)
+		return core.RunWorkloadDefTimedIn(st, c.Config, *c.WorkloadDef)
 	}
 	if run == nil {
 		run = r.RunFn
 	}
 	if run == nil {
-		return core.RunConfigTimed(c.Config, c.Workload)
+		st := core.AcquireRunState()
+		defer core.ReleaseRunState(st)
+		return core.RunConfigTimedIn(st, c.Config, c.Workload)
 	}
 	rep, err := run(c.Config, c.Workload)
 	return rep, obs.Phases{}, err

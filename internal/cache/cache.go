@@ -49,6 +49,15 @@ type Cache struct {
 // New builds a cache of size bytes with the given associativity and line
 // size. Size must divide evenly into sets of full associativity.
 func New(name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
+	return NewIn(nil, name, sizeBytes, ways, lineBytes)
+}
+
+// NewIn is New rebuilding into a recycled cache: re's line arrays are kept
+// when their capacity covers the new geometry (cleared, so the rebuilt
+// cache is observationally identical to a fresh one) and the struct itself
+// is reinitialized in place. re == nil allocates fresh — New is exactly
+// NewIn(nil, ...), so pooled and fresh construction share one code path.
+func NewIn(re *Cache, name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
 	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
 		return nil, fmt.Errorf("cache %s: non-positive geometry (%d/%d/%d)", name, sizeBytes, ways, lineBytes)
 	}
@@ -62,14 +71,18 @@ func New(name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
 	// Set counts need not be powers of two: indexing is modulo, which is
 	// what real non-power-of-two LLCs (e.g. 6 MB shared L2) do.
 	sets := nLines / ways
-	c := &Cache{
+	if re == nil {
+		re = &Cache{}
+	}
+	c := re
+	*c = Cache{
 		name:      name,
 		lineBytes: lineBytes,
 		sets:      sets,
 		ways:      ways,
-		tags:      make([]uint64, nLines),
-		flags:     make([]uint8, nLines),
-		lru:       make([]uint64, nLines),
+		tags:      reuseCleared(c.tags, nLines),
+		flags:     reuseCleared(c.flags, nLines),
+		lru:       reuseCleared(c.lru, nLines),
 	}
 	for 1<<c.lineShift < lineBytes {
 		c.lineShift++
@@ -82,6 +95,17 @@ func New(name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
 		}
 	}
 	return c, nil
+}
+
+// reuseCleared returns a zeroed slice of length n, reusing s's backing
+// array when it is large enough.
+func reuseCleared[T uint64 | uint8](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // MustNew is New that panics; used for configurations already validated by

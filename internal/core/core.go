@@ -13,7 +13,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/config"
 	"repro/internal/energy"
@@ -119,23 +118,7 @@ func RunConfig(cfg config.Config, workload string) (stats.Report, error) {
 // discrete-event loop. The report is identical to RunConfig's — timing
 // rides alongside, never inside, the pinned stats.Report.
 func RunConfigTimed(cfg config.Config, workload string) (stats.Report, obs.Phases, error) {
-	var ph obs.Phases
-	t := time.Now()
-	sys, err := NewSystem(cfg)
-	ph.PlatformBuild = time.Since(t)
-	if err != nil {
-		return stats.Report{}, ph, err
-	}
-	t = time.Now()
-	tr, err := trace.CachedByName(workload, &sys.Cfg)
-	ph.TraceGen = time.Since(t)
-	if err != nil {
-		return stats.Report{}, ph, err
-	}
-	t = time.Now()
-	rep := sys.RunTrace(tr)
-	ph.EventLoop = time.Since(t)
-	return rep, ph, nil
+	return RunConfigTimedIn(nil, cfg, workload)
 }
 
 // RunWorkloadDef builds a system from an explicit config and runs an
@@ -149,18 +132,5 @@ func RunWorkloadDef(cfg config.Config, w config.Workload) (stats.Report, error) 
 // RunWorkloadDefTimed is RunWorkloadDef with the same phase split as
 // RunConfigTimed.
 func RunWorkloadDefTimed(cfg config.Config, w config.Workload) (stats.Report, obs.Phases, error) {
-	var ph obs.Phases
-	t := time.Now()
-	sys, err := NewSystem(cfg)
-	ph.PlatformBuild = time.Since(t)
-	if err != nil {
-		return stats.Report{}, ph, err
-	}
-	t = time.Now()
-	tr := trace.Cached(w, &sys.Cfg)
-	ph.TraceGen = time.Since(t)
-	t = time.Now()
-	rep := sys.RunTrace(tr)
-	ph.EventLoop = time.Since(t)
-	return rep, ph, nil
+	return RunWorkloadDefTimedIn(nil, cfg, w)
 }

@@ -40,12 +40,31 @@ type Device struct {
 
 // New builds a device from the DRAM configuration.
 func New(cfg config.DRAMConfig) *Device {
-	d := &Device{cfg: cfg, banks: make([]bank, cfg.Banks), lastActivate: -cfg.TRRD}
-	for i := range d.banks {
-		d.banks[i].openRow = -1
-		d.banks[i].res = sim.NewGapResource(fmt.Sprintf("bank%d", i))
+	return NewIn(nil, nil, cfg)
+}
+
+func bankName(_ string, i int) string { return fmt.Sprintf("bank%d", i) }
+
+// NewIn is New rebuilding into a recycled device: the bank slice keeps its
+// capacity and the per-bank gap resources come from pools. Both re and
+// pools may be nil (New is NewIn(nil, nil, cfg)), so fresh and pooled
+// construction share one code path.
+func NewIn(re *Device, pools *sim.Pools, cfg config.DRAMConfig) *Device {
+	if re == nil {
+		re = &Device{}
 	}
-	return d
+	banks := re.banks
+	if cap(banks) < cfg.Banks {
+		banks = make([]bank, cfg.Banks)
+	} else {
+		banks = banks[:cfg.Banks]
+	}
+	*re = Device{cfg: cfg, banks: banks, lastActivate: -cfg.TRRD}
+	for i := range banks {
+		banks[i].openRow = -1
+		banks[i].res = pools.GapResource(pools.Name("bank", i, bankName))
+	}
+	return re
 }
 
 // decode splits a byte address into bank and row. Consecutive rows

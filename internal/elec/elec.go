@@ -43,6 +43,15 @@ type Channel struct {
 
 // New builds the electrical channels. col may be nil.
 func New(cfg config.ElectricalConfig, col *stats.Collector) *Channel {
+	return NewIn(nil, nil, cfg, col)
+}
+
+func laneName(_ string, i int) string { return fmt.Sprintf("elec%d", i) }
+
+// NewIn is New rebuilding into a recycled channel set with lane resources
+// drawn from pools; re and pools may both be nil (New is NewIn(nil, nil,
+// ...)), so fresh and pooled construction share one code path.
+func NewIn(re *Channel, pools *sim.Pools, cfg config.ElectricalConfig, col *stats.Collector) *Channel {
 	if cfg.Channels <= 0 {
 		panic("elec: need at least one channel")
 	}
@@ -50,20 +59,29 @@ func New(cfg config.ElectricalConfig, col *stats.Collector) *Channel {
 	if scale <= 0 {
 		scale = 1
 	}
-	c := &Channel{
+	if re == nil {
+		re = &Channel{}
+	}
+	lanes := re.lanes
+	if cap(lanes) < 2*cfg.Channels {
+		lanes = make([]*sim.GapResource, 2*cfg.Channels)
+	} else {
+		lanes = lanes[:2*cfg.Channels]
+	}
+	*re = Channel{
 		cfg:      cfg,
 		col:      col,
-		lanes:    make([]*sim.GapResource, 2*cfg.Channels),
+		lanes:    lanes,
 		wordTime: sim.Time(float64(sim.FreqToPeriod(cfg.FreqHz))*scale + 0.5),
 		laneB:    float64(cfg.LaneBits) / 8,
 	}
 	if col != nil {
-		c.hEnergy = col.InternEnergy("elec-channel")
+		re.hEnergy = col.InternEnergy("elec-channel")
 	}
-	for i := range c.lanes {
-		c.lanes[i] = sim.NewGapResource(fmt.Sprintf("elec%d", i))
+	for i := range lanes {
+		lanes[i] = pools.GapResource(pools.Name("elec", i, laneName))
 	}
-	return c
+	return re
 }
 
 // Transfer serializes n bytes on channel ch's dir half, starting no

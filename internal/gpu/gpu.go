@@ -126,6 +126,18 @@ func (t *mshrTable) insert(line uint64, done, now sim.Time) {
 
 // New builds a GPU. The memory accessor must not be nil.
 func New(cfg *config.Config, col *stats.Collector, mem MemAccessor) (*GPU, error) {
+	return NewIn(nil, nil, cfg, col, mem)
+}
+
+func l1Name(_ string, i int) string { return fmt.Sprintf("l1-sm%d", i) }
+func smName(_ string, i int) string { return fmt.Sprintf("sm%d", i) }
+
+// NewIn is New rebuilding into a recycled GPU: the SM array, per-SM L1s,
+// the shared L2, the MSHR table, the warp state and the event engine all
+// keep their allocated capacity and are reinitialized in place. Both re
+// and pools may be nil (New is NewIn(nil, nil, ...)), so fresh and pooled
+// construction share one code path.
+func NewIn(re *GPU, pools *sim.Pools, cfg *config.Config, col *stats.Collector, mem MemAccessor) (*GPU, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -135,41 +147,62 @@ func New(cfg *config.Config, col *stats.Collector, mem MemAccessor) (*GPU, error
 	if col == nil {
 		return nil, fmt.Errorf("gpu: nil collector")
 	}
-	g := &GPU{
+	if re == nil {
+		re = &GPU{}
+	}
+	g := re
+	sms := g.sms
+	if cap(sms) < cfg.GPU.SMs {
+		sms = make([]sm, cfg.GPU.SMs)
+	} else {
+		sms = sms[:cfg.GPU.SMs]
+	}
+	mshrEntries := g.mshr.entries
+	*g = GPU{
 		cfg:   cfg,
 		col:   col,
 		mem:   mem,
+		eng:   g.eng,
 		cycle: sim.FreqToPeriod(cfg.GPU.CoreFreqHz),
+		sms:   sms,
+		l2:    g.l2,
+		warps: g.warps[:0],
+		xbar:  g.xbar,
 	}
-	g.sms = make([]sm, cfg.GPU.SMs)
 	for i := range g.sms {
-		l1, err := cache.New(fmt.Sprintf("l1-sm%d", i), cfg.GPU.L1SizeBytes, cfg.GPU.L1Ways, cfg.GPU.LineBytes)
+		l1, err := cache.NewIn(g.sms[i].l1, pools.Name("l1-sm", i, l1Name), cfg.GPU.L1SizeBytes, cfg.GPU.L1Ways, cfg.GPU.LineBytes)
 		if err != nil {
 			return nil, err
 		}
-		g.sms[i] = sm{issue: sim.NewResource(fmt.Sprintf("sm%d", i)), l1: l1}
+		g.sms[i] = sm{issue: pools.Resource(pools.Name("sm", i, smName)), l1: l1}
 	}
-	l2, err := cache.New("l2", cfg.GPU.L2SizeBytes, cfg.GPU.L2Ways, cfg.GPU.LineBytes)
+	l2, err := cache.NewIn(g.l2, "l2", cfg.GPU.L2SizeBytes, cfg.GPU.L2Ways, cfg.GPU.LineBytes)
 	if err != nil {
 		return nil, err
 	}
 	g.l2 = l2
 	if cfg.GPU.MSHREntries > 0 {
-		g.mshr = mshrTable{
-			entries: make([]mshrEntry, 0, cfg.GPU.MSHREntries),
-			cap:     cfg.GPU.MSHREntries,
+		if cap(mshrEntries) < cfg.GPU.MSHREntries {
+			mshrEntries = make([]mshrEntry, 0, cfg.GPU.MSHREntries)
+		} else {
+			mshrEntries = mshrEntries[:0]
 		}
+		g.mshr = mshrTable{entries: mshrEntries, cap: cfg.GPU.MSHREntries}
+	} else {
+		g.mshr = mshrTable{}
 	}
 	if cfg.GPU.NoCDetailed {
 		ncfg := noc.Default()
 		ncfg.Ports = cfg.GPU.MemCtrls
 		ncfg.HopLatency = cfg.GPU.InterconnectL
 		ncfg.FreqHz = cfg.GPU.CoreFreqHz
-		xbar, err := noc.New(ncfg)
+		xbar, err := noc.NewIn(g.xbar, pools, ncfg)
 		if err != nil {
 			return nil, err
 		}
 		g.xbar = xbar
+	} else {
+		g.xbar = nil
 	}
 	return g, nil
 }
@@ -189,7 +222,14 @@ func (g *GPU) toL2(at sim.Time, addr uint64, n int) sim.Time {
 // Run executes one kernel (trace) to completion and returns the elapsed
 // simulated time. Warps are assigned to SMs round-robin.
 func (g *GPU) Run(tr *trace.Trace) sim.Time {
-	g.eng = sim.NewEngine()
+	// The engine is reused across runs (and across pooled rebuilds): Reset
+	// returns it to time zero with the arena and heap capacity intact,
+	// which is observationally identical to a fresh engine.
+	if g.eng == nil {
+		g.eng = sim.NewEngine()
+	} else {
+		g.eng.Reset()
+	}
 	g.finish = 0
 	g.live = 0
 	g.warps = g.warps[:0]

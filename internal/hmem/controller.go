@@ -186,19 +186,83 @@ type Controller struct {
 	DRAMWrites   uint64
 	XPointReads  uint64
 	XPointWrites uint64
+
+	// spare* stash recycled platform-dependent components that the current
+	// configuration does not use, so a pooled rebuild that alternates
+	// platforms (a sweep grid's inner loop) keeps the big arrays — XPoint
+	// wear, two-level tags — instead of dropping them on every platform
+	// switch. Invisible to simulation: only NewIn reads or writes them.
+	spareXP     []*xpoint.Controller
+	sparePlanar []*planarState
+	spareTwolvl []*twoLevelState
+	spareOpt    *optical.Channel
+	spareElec   *elec.Channel
+	spareHost   *pcieHost
+	spareRes    []resSet
 }
 
 // New assembles the memory system for cfg. col must not be nil. host may be
 // nil; it is only used by platforms that spill (Origin) — a nil host there
 // installs the default PCIe model.
 func New(cfg *config.Config, col *stats.Collector, host HostLink) (*Controller, error) {
+	return NewIn(nil, nil, cfg, col, host)
+}
+
+// NewIn is New rebuilding into a recycled controller: device structures,
+// per-MC state and channel models are reinitialized in place, and
+// platform-dependent components the new configuration does not need move
+// to the spare stashes for a later cell. Both re and pools may be nil —
+// New is exactly NewIn(nil, nil, ...) — so fresh and pooled construction
+// share one code path, which is what keeps pooled results byte-identical.
+func NewIn(re *Controller, pools *sim.Pools, cfg *config.Config, col *stats.Collector, host HostLink) (*Controller, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if col == nil {
 		return nil, fmt.Errorf("hmem: nil collector")
 	}
-	c := &Controller{
+	if re == nil {
+		re = &Controller{}
+	}
+	c := re
+
+	// Scavenge the previous incarnation's recyclable parts into locals
+	// before the struct is overwritten. Per-bank sub-objects are nil'ed in
+	// the retained bank slice so no component is ever reachable from two
+	// owners; dram devices stay with their slot (they are only ever owned
+	// by that slot).
+	spXP, spPl, spTL := c.spareXP, c.sparePlanar, c.spareTwolvl
+	spOpt, spElec, spHost, spRes := c.spareOpt, c.spareElec, c.spareHost, c.spareRes
+	if c.Opt != nil {
+		spOpt = c.Opt
+	}
+	if c.Elec != nil {
+		spElec = c.Elec
+	}
+	if ph, ok := c.host.(*pcieHost); ok {
+		spHost = ph
+	}
+	if c.resident != nil {
+		spRes = c.resident
+	}
+	mcs := c.mcs
+	for i := range mcs {
+		b := &mcs[i]
+		if b.xp != nil {
+			spXP = append(spXP, b.xp)
+			b.xp = nil
+		}
+		if b.planar != nil {
+			spPl = append(spPl, b.planar)
+			b.planar = nil
+		}
+		if b.twolvl != nil {
+			spTL = append(spTL, b.twolvl)
+			b.twolvl = nil
+		}
+	}
+
+	*c = Controller{
 		cfg:         cfg,
 		col:         col,
 		kind:        KindFor(cfg.Platform),
@@ -215,25 +279,40 @@ func New(cfg *config.Config, col *stats.Collector, host HostLink) (*Controller, 
 	}
 
 	if cfg.Platform.Optical() {
-		c.Opt = optical.NewChannel(cfg.Optical, col)
+		c.Opt = optical.NewChannelIn(spOpt, pools, cfg.Optical, col)
+		spOpt = nil
 		c.link = &opticalLink{ch: c.Opt, dualRoute: c.kind == MigrAutoRW || c.kind == MigrWOM || c.kind == MigrBW}
 	} else {
-		c.Elec = elec.New(cfg.Electrical, col)
+		c.Elec = elec.NewIn(spElec, pools, cfg.Electrical, col)
+		spElec = nil
 		c.link = &elecLink{ch: c.Elec}
 	}
 
 	n := cfg.GPU.MemCtrls
-	c.mcs = make([]bank, n)
+	if cap(mcs) < n {
+		mcs = make([]bank, n)
+	} else {
+		mcs = mcs[:n]
+	}
+	c.mcs = mcs
 	dramPerMC := cfg.Memory.DRAMBytes / int64(n)
 	xpPerMC := cfg.Memory.XPointBytes / int64(n)
 	for i := range c.mcs {
 		b := &c.mcs[i]
-		b.dram = dram.New(cfg.DRAM)
+		b.dram = dram.NewIn(b.dram, pools, cfg.DRAM)
 		if cfg.Platform.Heterogeneous() {
-			b.xp = xpoint.NewController(cfg.XPoint, xpPerMC, cfg.GPU.LineBytes)
+			var reXP *xpoint.Controller
+			if k := len(spXP); k > 0 {
+				reXP, spXP = spXP[k-1], spXP[:k-1]
+			}
+			b.xp = xpoint.NewControllerIn(reXP, pools, cfg.XPoint, xpPerMC, cfg.GPU.LineBytes)
 			switch cfg.Mode {
 			case config.Planar:
-				b.planar = newPlanarState(dramPerMC, xpPerMC, c.pageBytes, cfg.Memory.HotThreshold)
+				var rePl *planarState
+				if k := len(spPl); k > 0 {
+					rePl, spPl = spPl[k-1], spPl[:k-1]
+				}
+				b.planar = newPlanarStateIn(rePl, dramPerMC, xpPerMC, c.pageBytes, cfg.Memory.HotThreshold)
 			case config.TwoLevel:
 				// The tag-in-ECC design (Section III-B) only works while
 				// the direct-map tag fits the ECC region's spare bits. The
@@ -246,7 +325,11 @@ func New(cfg *config.Config, col *stats.Collector, host HostLink) (*Controller, 
 						"hmem: two-level tag needs %d bits, exceeding the %d-bit ECC budget (capacity ratio too large)",
 						need, ecc.TagBits)
 				}
-				b.twolvl = newTwoLevelState(dramPerMC, c.lineBytes)
+				var reTL *twoLevelState
+				if k := len(spTL); k > 0 {
+					reTL, spTL = spTL[k-1], spTL[:k-1]
+				}
+				b.twolvl = newTwoLevelStateIn(reTL, dramPerMC, c.lineBytes)
 			}
 		}
 	}
@@ -255,14 +338,29 @@ func New(cfg *config.Config, col *stats.Collector, host HostLink) (*Controller, 
 		c.hostOnly = true
 		c.host = host
 		if c.host == nil {
-			c.host = defaultHostLink()
+			c.host = defaultHostLinkIn(spHost, pools)
+			spHost = nil
 		}
-		c.resident = make([]resSet, n)
+		resident := spRes
+		spRes = nil
+		if cap(resident) < n {
+			resident = make([]resSet, n)
+		} else {
+			resident = resident[:n]
+			for i := range resident {
+				resident[i].reset()
+			}
+		}
+		c.resident = resident
 		c.resCap = dramPerMC / c.pageBytes
 		if c.resCap < 1 {
 			c.resCap = 1
 		}
 	}
+
+	// Whatever was not consumed stays stashed for the next rebuild.
+	c.spareXP, c.sparePlanar, c.spareTwolvl = spXP, spPl, spTL
+	c.spareOpt, c.spareElec, c.spareHost, c.spareRes = spOpt, spElec, spHost, spRes
 	return c, nil
 }
 
@@ -293,6 +391,19 @@ func (r *resSet) add(page int64) {
 	}
 	r.fifo = append(r.fifo, page)
 	r.count++
+}
+
+// reset empties the set for a pooled rebuild, scrubbing only the pages
+// still queued. Invariant: present[p] implies p is in fifo[head:], because
+// evictOldest clears its victim's presence bit and compaction only discards
+// fifo[:head] — so walking the live queue restores the whole present array.
+func (r *resSet) reset() {
+	for _, p := range r.fifo[r.head:] {
+		r.present[p] = false
+	}
+	r.fifo = r.fifo[:0]
+	r.head = 0
+	r.count = 0
 }
 
 // evictOldest removes and returns the longest-resident page.

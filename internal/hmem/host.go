@@ -21,11 +21,21 @@ type energySink interface {
 }
 
 func defaultHostLink() *pcieHost {
-	return &pcieHost{
-		dma:   sim.NewResource("pcie"),
+	return defaultHostLinkIn(nil, nil)
+}
+
+// defaultHostLinkIn is defaultHostLink rebuilding into a recycled link with
+// the DMA resource drawn from pools; re and pools may both be nil.
+func defaultHostLinkIn(re *pcieHost, pools *sim.Pools) *pcieHost {
+	if re == nil {
+		re = &pcieHost{}
+	}
+	*re = pcieHost{
+		dma:   pools.Resource("pcie"),
 		setup: 2 * sim.Microsecond,
 		bwBps: 18e9, // PCIe 3.0 x16-class staging
 	}
+	return re
 }
 
 // Stage transfers n bytes between host and GPU memory. Only the wire time

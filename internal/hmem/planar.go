@@ -48,6 +48,14 @@ type planarState struct {
 }
 
 func newPlanarState(dramBytes, xpBytes, pageBytes int64, hotThresh int) *planarState {
+	return newPlanarStateIn(nil, dramBytes, xpBytes, pageBytes, hotThresh)
+}
+
+// newPlanarStateIn is newPlanarState rebuilding into a recycled state: the
+// five tracking maps are emptied with clear(), which keeps their buckets —
+// map churn is proportional to the pages a run actually touched, so reuse
+// costs O(touched), never O(capacity).
+func newPlanarStateIn(re *planarState, dramBytes, xpBytes, pageBytes int64, hotThresh int) *planarState {
 	n := dramBytes / pageBytes
 	if n < 1 {
 		n = 1
@@ -56,18 +64,34 @@ func newPlanarState(dramBytes, xpBytes, pageBytes int64, hotThresh int) *planarS
 	if ratio < 1 {
 		ratio = 1
 	}
-	return &planarState{
+	if re == nil {
+		re = &planarState{
+			slotOwner:      make(map[int64]int64),
+			heat:           make(map[int64]int),
+			migratingUntil: make(map[int64]sim.Time),
+			swapPages:      make(map[int64][2]int64),
+			lastSwap:       make(map[int64]sim.Time),
+		}
+	} else {
+		clear(re.slotOwner)
+		clear(re.heat)
+		clear(re.migratingUntil)
+		clear(re.swapPages)
+		clear(re.lastSwap)
+	}
+	*re = planarState{
 		nGroups:        n,
 		ratio:          ratio,
 		pageBytes:      pageBytes,
 		hotThresh:      hotThresh,
-		slotOwner:      make(map[int64]int64),
-		heat:           make(map[int64]int),
-		migratingUntil: make(map[int64]sim.Time),
-		swapPages:      make(map[int64][2]int64),
-		lastSwap:       make(map[int64]sim.Time),
+		slotOwner:      re.slotOwner,
+		heat:           re.heat,
+		migratingUntil: re.migratingUntil,
+		swapPages:      re.swapPages,
+		lastSwap:       re.lastSwap,
 		cooldown:       25 * sim.Microsecond,
 	}
+	return re
 }
 
 // group returns the group of a local logical page.

@@ -21,26 +21,79 @@ type twoLevelState struct {
 	tag   []int64
 	dirty []bool
 
+	// touched journals the sets whose tag left the invalid state this run,
+	// so a pooled rebuild restores O(touched) entries instead of refilling
+	// the whole tag array; past an eighth of the sets, full switches the
+	// rebuild to one wholesale refill. Invariant: every valid tag entry in
+	// the backing array is journaled or full is set, so after the rebuild's
+	// scrub the backing arrays are entirely invalid/false.
+	touched []int64
+	full    bool
+
 	Hits      uint64
 	MissClean uint64
 	MissDirty uint64
 }
 
 func newTwoLevelState(dramBytes, lineBytes int64) *twoLevelState {
+	return newTwoLevelStateIn(nil, dramBytes, lineBytes)
+}
+
+// newTwoLevelStateIn is newTwoLevelState rebuilding into a recycled state,
+// scrubbing the retained tag/dirty arrays through the touched journal.
+func newTwoLevelStateIn(re *twoLevelState, dramBytes, lineBytes int64) *twoLevelState {
 	n := dramBytes / lineBytes
 	if n < 1 {
 		n = 1
 	}
-	t := &twoLevelState{
+	if re == nil {
+		re = &twoLevelState{}
+	}
+	tag, dirty := re.tag, re.dirty
+	if re.full {
+		for i := range tag {
+			tag[i] = -1
+		}
+		clear(dirty)
+	} else {
+		for _, s := range re.touched {
+			tag[s] = -1
+			dirty[s] = false
+		}
+	}
+	if int64(cap(tag)) < n {
+		tag = make([]int64, n)
+		for i := range tag {
+			tag[i] = -1
+		}
+		dirty = make([]bool, n)
+	} else {
+		tag = tag[:n]
+		dirty = dirty[:n]
+	}
+	*re = twoLevelState{
 		nSets:     n,
 		lineBytes: lineBytes,
-		tag:       make([]int64, n),
-		dirty:     make([]bool, n),
+		tag:       tag,
+		dirty:     dirty,
+		touched:   re.touched[:0],
 	}
-	for i := range t.tag {
-		t.tag[i] = -1
+	return re
+}
+
+// install records a fill into set s, journaling the set's first departure
+// from the invalid state for the pooled rebuild's scrub.
+func (t *twoLevelState) install(set, line int64, dirty bool) {
+	if t.tag[set] == -1 && !t.full {
+		if int64(len(t.touched)) < t.nSets/8 {
+			t.touched = append(t.touched, set)
+		} else {
+			t.full = true
+			t.touched = t.touched[:0]
+		}
 	}
-	return t
+	t.tag[set] = line
+	t.dirty[set] = dirty
 }
 
 // lookup maps a local address to (set, xpoint line, hit).
@@ -153,8 +206,7 @@ func (c *Controller) accessTwoLevel(mc int, b *bank, at sim.Time, local uint64, 
 	}
 	c.DRAMWrites++
 
-	t.tag[set] = line
-	t.dirty[set] = write
+	t.install(set, line, write)
 	c.col.Migrations++
 	c.col.MigratedBytes += uint64(lineB)
 	if victimDirty {

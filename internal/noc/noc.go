@@ -43,18 +43,35 @@ type Crossbar struct {
 
 // New builds the crossbar.
 func New(cfg Config) (*Crossbar, error) {
+	return NewIn(nil, nil, cfg)
+}
+
+func portName(_ string, i int) string { return fmt.Sprintf("noc-port%d", i) }
+
+// NewIn is New rebuilding into a recycled crossbar with port resources
+// drawn from pools; re and pools may both be nil (New is NewIn(nil, nil,
+// cfg)), so fresh and pooled construction share one code path.
+func NewIn(re *Crossbar, pools *sim.Pools, cfg Config) (*Crossbar, error) {
 	if cfg.Ports <= 0 {
 		return nil, fmt.Errorf("noc: need at least one port, got %d", cfg.Ports)
 	}
 	if cfg.FlitBytes <= 0 || cfg.FreqHz <= 0 {
 		return nil, fmt.Errorf("noc: flit bytes and frequency must be positive")
 	}
-	x := &Crossbar{cfg: cfg, flitTime: sim.FreqToPeriod(cfg.FreqHz)}
-	x.ports = make([]*sim.GapResource, cfg.Ports)
-	for i := range x.ports {
-		x.ports[i] = sim.NewGapResource(fmt.Sprintf("noc-port%d", i))
+	if re == nil {
+		re = &Crossbar{}
 	}
-	return x, nil
+	ports := re.ports
+	if cap(ports) < cfg.Ports {
+		ports = make([]*sim.GapResource, cfg.Ports)
+	} else {
+		ports = ports[:cfg.Ports]
+	}
+	*re = Crossbar{cfg: cfg, flitTime: sim.FreqToPeriod(cfg.FreqHz), ports: ports}
+	for i := range ports {
+		ports[i] = pools.GapResource(pools.Name("noc-port", i, portName))
+	}
+	return re, nil
 }
 
 // port routes an address to its L2-side port (line-interleaved like the L2

@@ -61,28 +61,50 @@ type Channel struct {
 // NewChannel builds the optical channel. The collector may be nil when the
 // caller does its own accounting (unit tests).
 func NewChannel(cfg config.OpticalConfig, col *stats.Collector) *Channel {
+	return NewChannelIn(nil, nil, cfg, col)
+}
+
+func dataName(_ string, i int) string { return fmt.Sprintf("vc%d-data%d", i/2, i%2) }
+func memName(_ string, i int) string  { return fmt.Sprintf("vc%d-mem", i) }
+
+// NewChannelIn is NewChannel rebuilding into a recycled channel: the
+// per-VC slices keep their capacity and the route resources come from
+// pools. Both re and pools may be nil (NewChannel is NewChannelIn(nil,
+// nil, ...)), so fresh and pooled construction share one code path.
+func NewChannelIn(re *Channel, pools *sim.Pools, cfg config.OpticalConfig, col *stats.Collector) *Channel {
 	if cfg.VirtualChannels <= 0 {
 		panic("optical: need at least one virtual channel")
 	}
-	c := &Channel{
+	if re == nil {
+		re = &Channel{}
+	}
+	pm := re.pm
+	if pm == nil {
+		pm = NewPowerModel(cfg)
+	} else {
+		*pm = PowerModel{cfg: cfg}
+	}
+	c := re
+	*c = Channel{
 		cfg:       cfg,
-		pm:        NewPowerModel(cfg),
+		pm:        pm,
 		col:       col,
-		data:      make([]*sim.GapResource, 2*cfg.VirtualChannels),
-		mem:       make([]*sim.GapResource, cfg.VirtualChannels),
-		last:      make([]int, 2*cfg.VirtualChannels),
-		womActive: make([]sim.Time, cfg.VirtualChannels),
+		data:      reuseSlice(c.data, 2*cfg.VirtualChannels),
+		mem:       reuseSlice(c.mem, cfg.VirtualChannels),
+		last:      reuseSlice(c.last, 2*cfg.VirtualChannels),
+		womActive: reuseSlice(c.womActive, cfg.VirtualChannels),
 	}
 	if col != nil {
 		c.hEnergy = col.InternEnergy("opti-network")
 	}
 	for i := range c.data {
-		c.data[i] = sim.NewGapResource(fmt.Sprintf("vc%d-data%d", i/2, i%2))
+		c.data[i] = pools.GapResource(pools.Name("opti-data", i, dataName))
 		c.last[i] = -1
 	}
 	for i := range c.mem {
-		c.mem[i] = sim.NewGapResource(fmt.Sprintf("vc%d-mem", i))
+		c.mem[i] = pools.GapResource(pools.Name("opti-mem", i, memName))
 	}
+	clear(c.womActive)
 	scale := cfg.BandwidthScale
 	if scale <= 0 {
 		scale = 1
@@ -91,6 +113,15 @@ func NewChannel(cfg config.OpticalConfig, col *stats.Collector) *Channel {
 	vcBits := float64(cfg.ChannelBits) / float64(cfg.VirtualChannels)
 	c.vcBytes = vcBits / 8 * float64(cfg.Waveguides)
 	return c
+}
+
+// reuseSlice returns a slice of length n reusing s's backing array when
+// large enough; elements are overwritten by the caller.
+func reuseSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // PowerModel exposes the channel's power/BER model.

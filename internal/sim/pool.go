@@ -1,0 +1,93 @@
+package sim
+
+import "repro/internal/slab"
+
+// Reset returns the engine to the zero state — time zero, empty queue,
+// fresh sequence numbers — while keeping the arena, heap, and free-list
+// capacity for the next run. Clearing the arena releases the Handler and
+// closure references of any events that never fired, so a pooled engine
+// does not pin a dead simulation's object graph.
+func (e *Engine) Reset() {
+	clear(e.arena)
+	e.arena = e.arena[:0]
+	e.heap = e.heap[:0]
+	e.free = e.free[:0]
+	e.now, e.seq, e.fired = 0, 0, 0
+}
+
+// Pools recycles the kernel's per-run occupancy trackers across simulation
+// runs. Components that model channels, banks, and buses allocate dozens of
+// GapResources and Resources per platform build; routing those through a
+// Pools instance lets a pooled run state hand each component its previous
+// incarnation — gap tables and all — reset to empty.
+//
+// A nil *Pools is valid everywhere and means "allocate fresh", so
+// construction code takes a single path whether or not it is pooled.
+type Pools struct {
+	gap slab.Pool[GapResource]
+	res slab.Pool[Resource]
+
+	// names caches formatted per-index diagnostic names ("bank3",
+	// "vc0-data1") per kind, so warm rebuilds reuse the interned string
+	// instead of re-formatting. Name tables are append-only and survive
+	// Reset: the strings are immutable and identical across runs.
+	names map[string][]string
+}
+
+// Reset rewinds the pools for the next run. Objects handed out since the
+// previous Reset become reusable; the caller must no longer touch them
+// through old references once a new run starts (the core.RunState ownership
+// discipline guarantees this).
+func (p *Pools) Reset() {
+	if p == nil {
+		return
+	}
+	p.gap.Reset()
+	p.res.Reset()
+}
+
+// Name returns the diagnostic name for index i of a kind, formatting with
+// f on first use and serving the cached string afterwards. f must be a
+// pure function of i — the cache assumes kind+index fully determines the
+// name. A nil receiver formats directly, so fresh and pooled construction
+// produce identical strings.
+func (p *Pools) Name(kind string, i int, f func(kind string, i int) string) string {
+	if p == nil {
+		return f(kind, i)
+	}
+	tab := p.names[kind]
+	for len(tab) <= i {
+		tab = append(tab, f(kind, len(tab)))
+	}
+	if p.names == nil {
+		p.names = make(map[string][]string, 8)
+	}
+	p.names[kind] = tab
+	return tab[i]
+}
+
+// GapResource returns an empty gap-filling resource with the given
+// diagnostic name, recycled when possible.
+func (p *Pools) GapResource(name string) *GapResource {
+	if p == nil {
+		return NewGapResource(name)
+	}
+	r, recycled := p.gap.Get()
+	if recycled {
+		r.Reset()
+	}
+	r.name = name
+	return r
+}
+
+// Resource returns an empty serially-occupied resource with the given
+// diagnostic name, recycled when possible.
+func (p *Pools) Resource(name string) *Resource {
+	if p == nil {
+		return NewResource(name)
+	}
+	r, _ := p.res.Get()
+	r.Reset()
+	r.name = name
+	return r
+}

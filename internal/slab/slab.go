@@ -1,0 +1,40 @@
+// Package slab provides the reusable-memory primitive behind run-state
+// pooling: object pools that recycle component structs in deterministic
+// cursor order. A pool is a single-goroutine structure — a pooled
+// simulation run state is owned by exactly one worker at a time (the
+// core.RunState pool enforces that) — so it takes no locks.
+//
+// The contract every user relies on: an object obtained from a Pool is
+// handed to the caller to reinitialize fully before use, and after that
+// reinitialization it is indistinguishable from a freshly allocated one.
+// Run-to-run byte-identity of simulation results rests on that contract;
+// the randomized fresh-vs-pooled equivalence tests in internal/core pin it.
+package slab
+
+// Pool recycles heap objects in deterministic cursor order: the i-th Get
+// after a Reset always returns the same object, so a simulation that
+// builds its components in a fixed order gets each component's previous
+// incarnation back — with whatever internal slice capacity it grew — and
+// reinitializes it in place.
+type Pool[T any] struct {
+	items []*T
+	off   int
+}
+
+// Get returns the next pooled object and whether it is recycled (true) or
+// freshly allocated (false). Recycled objects hold their previous run's
+// state; the caller must reinitialize every field it reads.
+func (p *Pool[T]) Get() (t *T, recycled bool) {
+	if p.off < len(p.items) {
+		t = p.items[p.off]
+		p.off++
+		return t, true
+	}
+	t = new(T)
+	p.items = append(p.items, t)
+	p.off++
+	return t, false
+}
+
+// Reset rewinds the cursor for the next run.
+func (p *Pool[T]) Reset() { p.off = 0 }

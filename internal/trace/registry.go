@@ -34,12 +34,66 @@ type traceKey struct {
 type traceEntry struct {
 	once sync.Once
 	tr   *Trace
+
+	// pins counts live sweep-level holds (see Pins); a pinned entry is
+	// never evicted. lastUse is the registry's logical clock at the last
+	// lookup, driving LRU eviction of unpinned entries.
+	pins    int
+	lastUse uint64
 }
+
+// regCap bounds how many unpinned traces stay resident. Traces are the
+// largest single allocation a sweep makes (per-warp instruction streams),
+// so an unbounded registry would grow with every distinct geometry the
+// process ever saw; 64 comfortably covers the paper's largest grid while
+// keeping a long-lived daemon's footprint flat.
+const regCap = 64
 
 var (
 	regMu    sync.Mutex
 	registry = make(map[traceKey]*traceEntry)
+	regTick  uint64
 )
+
+// entryLocked returns the (possibly new) entry for k, stamping its use
+// time and evicting LRU unpinned entries to stay within regCap. Caller
+// holds regMu.
+func entryLocked(k traceKey) *traceEntry {
+	regTick++
+	e := registry[k]
+	if e == nil {
+		if len(registry) >= regCap {
+			evictLocked()
+		}
+		e = &traceEntry{}
+		registry[k] = e
+	}
+	e.lastUse = regTick
+	return e
+}
+
+// evictLocked drops least-recently-used unpinned entries until the
+// registry is below capacity. Pinned entries are exempt: a sweep over
+// more than regCap distinct traces keeps them all resident for its
+// duration (the registry grows past cap rather than thrash mid-sweep).
+func evictLocked() {
+	for len(registry) >= regCap {
+		var victimKey traceKey
+		var victim *traceEntry
+		for k, e := range registry {
+			if e.pins > 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(registry, victimKey)
+	}
+}
 
 func keyFor(w config.Workload, c *config.Config) traceKey {
 	return traceKey{
@@ -56,16 +110,65 @@ func keyFor(w config.Workload, c *config.Config) traceKey {
 // Cached returns the shared immutable trace for (w, c), generating it on
 // first use. Safe for concurrent use; see the package comment on mutation.
 func Cached(w config.Workload, c *config.Config) *Trace {
-	k := keyFor(w, c)
 	regMu.Lock()
-	e := registry[k]
-	if e == nil {
-		e = &traceEntry{}
-		registry[k] = e
-	}
+	e := entryLocked(keyFor(w, c))
 	regMu.Unlock()
 	e.once.Do(func() { e.tr = Generate(w, c) })
 	return e.tr
+}
+
+// Pins keeps a set of trace keys resident across a sweep: the batch
+// runner pins every distinct key its cells will read before any cell
+// runs, so the registry's LRU bound cannot evict a trace mid-sweep and
+// force a second generation. Pinning does not generate — the trace is
+// still built lazily by the first cell that borrows it via Cached.
+//
+// The zero value is ready to use. Safe for concurrent use.
+type Pins struct {
+	mu      sync.Mutex
+	entries map[*traceEntry]struct{}
+}
+
+// Add pins the trace key for (w, c). Duplicate adds of one key are
+// deduplicated, so callers can feed every cell of a sweep through Add.
+func (p *Pins) Add(w config.Workload, c *config.Config) {
+	// Pin under the registry lock so no eviction can slip between the
+	// lookup and the increment.
+	regMu.Lock()
+	e := entryLocked(keyFor(w, c))
+	e.pins++
+	regMu.Unlock()
+
+	p.mu.Lock()
+	if p.entries == nil {
+		p.entries = make(map[*traceEntry]struct{})
+	}
+	_, dup := p.entries[e]
+	if !dup {
+		p.entries[e] = struct{}{}
+	}
+	p.mu.Unlock()
+
+	if dup {
+		regMu.Lock()
+		e.pins--
+		regMu.Unlock()
+	}
+}
+
+// Release unpins everything added so far. Idempotent; the pinned entries
+// become ordinary LRU candidates again.
+func (p *Pins) Release() {
+	p.mu.Lock()
+	entries := p.entries
+	p.entries = nil
+	p.mu.Unlock()
+
+	regMu.Lock()
+	for e := range entries {
+		e.pins--
+	}
+	regMu.Unlock()
 }
 
 // CachedByName resolves a Table II workload name and returns its shared

@@ -31,14 +31,31 @@ type Device struct {
 // NewDevice builds a device; partitions is the internal parallelism (a
 // device property, 8 matches contemporary Optane-class media).
 func NewDevice(cfg config.XPointConfig, lineBytes, partitions int) *Device {
+	return newDeviceIn(nil, nil, cfg, lineBytes, partitions)
+}
+
+func partName(_ string, i int) string { return fmt.Sprintf("xp-part%d", i) }
+
+// newDeviceIn is NewDevice rebuilding into a recycled device; re and pools
+// may both be nil, so fresh and pooled construction share one code path.
+func newDeviceIn(re *Device, pools *sim.Pools, cfg config.XPointConfig, lineBytes, partitions int) *Device {
 	if partitions <= 0 {
 		partitions = 1
 	}
-	d := &Device{cfg: cfg, lineBytes: lineBytes, partitions: make([]*sim.GapResource, partitions)}
-	for i := range d.partitions {
-		d.partitions[i] = sim.NewGapResource(fmt.Sprintf("xp-part%d", i))
+	if re == nil {
+		re = &Device{}
 	}
-	return d
+	parts := re.partitions
+	if cap(parts) < partitions {
+		parts = make([]*sim.GapResource, partitions)
+	} else {
+		parts = parts[:partitions]
+	}
+	*re = Device{cfg: cfg, lineBytes: lineBytes, partitions: parts}
+	for i := range parts {
+		parts[i] = pools.GapResource(pools.Name("xp-part", i, partName))
+	}
+	return re
 }
 
 func (d *Device) partition(addr uint64) int {
@@ -148,6 +165,16 @@ type Controller struct {
 
 	wear []uint32 // per-physical-line write counts (uint32 bounds memory at scale)
 
+	// wearTouched journals the distinct physical lines written this run, so
+	// a pooled rebuild zeroes O(touched lines) instead of the whole wear
+	// array — by far the largest allocation in a cell, and writes touch a
+	// small fraction of it. When the journal would exceed an eighth of the
+	// array, wearFull switches the rebuild to one full clear instead.
+	// Invariant: every non-zero wear entry is journaled or wearFull is set,
+	// so after the rebuild's clearing step the backing array is all zero.
+	wearTouched []int64
+	wearFull    bool
+
 	BufferedWrites uint64
 	StalledWrites  uint64
 	SnarfedBytes   uint64
@@ -157,6 +184,16 @@ type Controller struct {
 
 // NewController assembles a controller over capacityBytes of media.
 func NewController(cfg config.XPointConfig, capacityBytes int64, lineBytes int) *Controller {
+	return NewControllerIn(nil, nil, cfg, capacityBytes, lineBytes)
+}
+
+// NewControllerIn is NewController rebuilding into a recycled controller:
+// the wear array, write/read buffers, device partitions and Start-Gap state
+// are reinitialized in place. The recycled wear array is scrubbed through
+// the wearTouched journal rather than wholesale, so reuse costs time
+// proportional to the previous run's writes, not the media capacity. Both
+// re and pools may be nil; New is exactly NewControllerIn(nil, nil, ...).
+func NewControllerIn(re *Controller, pools *sim.Pools, cfg config.XPointConfig, capacityBytes int64, lineBytes int) *Controller {
 	lines := capacityBytes / int64(lineBytes)
 	if lines < 1 {
 		lines = 1
@@ -165,13 +202,59 @@ func NewController(cfg config.XPointConfig, capacityBytes int64, lineBytes int) 
 	if parts <= 0 {
 		parts = 8
 	}
-	return &Controller{
-		cfg:       cfg,
-		dev:       NewDevice(cfg, lineBytes, parts),
-		sg:        NewStartGap(lines, cfg.StartGapK),
-		lineBytes: lineBytes,
-		wear:      make([]uint32, lines+1),
+	if re == nil {
+		re = &Controller{}
 	}
+	// Scrub the retained wear array to all-zero (see the wearTouched
+	// invariant), then resize it within capacity when possible.
+	wear := re.wear
+	if re.wearFull {
+		clear(wear)
+	} else {
+		for _, p := range re.wearTouched {
+			wear[p] = 0
+		}
+	}
+	need := int(lines + 1)
+	if cap(wear) < need {
+		wear = make([]uint32, need)
+	} else {
+		wear = wear[:need]
+	}
+	sg := re.sg
+	if sg == nil {
+		sg = NewStartGap(lines, cfg.StartGapK)
+	} else {
+		if lines <= 0 {
+			panic(fmt.Sprintf("xpoint: StartGap with non-positive lines %d", lines))
+		}
+		*sg = StartGap{n: lines, gap: lines, k: cfg.StartGapK}
+	}
+	*re = Controller{
+		cfg:         cfg,
+		dev:         newDeviceIn(re.dev, pools, cfg, lineBytes, parts),
+		sg:          sg,
+		lineBytes:   lineBytes,
+		wear:        wear,
+		wearTouched: re.wearTouched[:0],
+		writeBuf:    re.writeBuf[:0],
+		readBuf:     re.readBuf[:0],
+	}
+	return re
+}
+
+// noteWear counts one write to a physical line, journaling its first touch
+// for the pooled rebuild's scrub.
+func (c *Controller) noteWear(pline int64) {
+	if c.wear[pline] == 0 && !c.wearFull {
+		if len(c.wearTouched) < len(c.wear)/8 {
+			c.wearTouched = append(c.wearTouched, pline)
+		} else {
+			c.wearFull = true
+			c.wearTouched = c.wearTouched[:0]
+		}
+	}
+	c.wear[pline]++
 }
 
 // Device exposes the raw device (used by tests and energy accounting).
@@ -245,7 +328,7 @@ func (c *Controller) Write(at sim.Time, addr uint64) (ack sim.Time) {
 	}
 	pa, pline := c.physAddr(addr)
 	done := c.dev.Write(ack, pa)
-	c.wear[pline]++
+	c.noteWear(pline)
 	c.writeBuf = append(c.writeBuf, pendingWrite{done: done})
 	c.BufferedWrites++
 	if c.sg.OnWrite() {
@@ -298,7 +381,7 @@ func (c *Controller) scheduledOp(at sim.Time, pa uint64, write bool) sim.Time {
 func (c *Controller) SwapWrite(at sim.Time, addr uint64) sim.Time {
 	pa, pline := c.physAddr(addr)
 	done := c.scheduledOp(at, pa, true)
-	c.wear[pline]++
+	c.noteWear(pline)
 	c.SwapOps++
 	if c.sg.OnWrite() {
 		gapAddr := uint64(c.sg.gap) * uint64(c.lineBytes)
@@ -310,7 +393,7 @@ func (c *Controller) SwapWrite(at sim.Time, addr uint64) sim.Time {
 // MigrWrite persists a migration line write at an arbitrated instant.
 func (c *Controller) MigrWrite(at sim.Time, addr uint64) sim.Time {
 	pa, pline := c.physAddr(addr)
-	c.wear[pline]++
+	c.noteWear(pline)
 	return c.scheduledOp(at, pa, true)
 }
 

@@ -3,13 +3,16 @@
 # machine-readable BENCH_<n>.json at the repo root.
 #
 # Usage:
-#   scripts/bench.sh            # writes BENCH_2.json
-#   scripts/bench.sh BENCH_3.json
+#   scripts/bench.sh            # writes BENCH_8.json
+#   scripts/bench.sh BENCH_9.json
 #
-# The suite covers three layers:
+# The suite covers four layers:
 #   - kernel:   BenchmarkKernelSchedule* (steady-state event loop, allocs/op)
 #   - cell:     BenchmarkKernelColdCell / BenchmarkKernelWarmCell and
 #               BenchmarkSingleRun/* (one end-to-end simulation)
+#   - sweep:    BenchmarkSweepCold / BenchmarkSweepWarm (a real grid through
+#               batch.Runner; cells/sec and allocs/cell gate the run-state
+#               pool against per-cell allocation regressions)
 #   - figures:  BenchmarkFig3 (the motivation study; warm iterations hit the
 #               in-process result cache, so run it cold-aware via benchtime)
 #
@@ -18,7 +21,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_2.json}"
+OUT="${1:-BENCH_8.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP" "$OUT.tmp"' EXIT
 
@@ -26,6 +29,8 @@ echo "bench: kernel steady state" >&2
 go test -run='^$' -bench='BenchmarkKernelSchedule' -benchmem -benchtime=300000x . | tee -a "$TMP" >&2
 echo "bench: single cells" >&2
 go test -run='^$' -bench='BenchmarkKernel.*Cell|BenchmarkSingleRun' -benchmem -benchtime=5x . | tee -a "$TMP" >&2
+echo "bench: sweep grid (cold simulate + warm result cache)" >&2
+go test -run='^$' -bench='BenchmarkSweepCold$|BenchmarkSweepWarm$' -benchmem -benchtime=5x . | tee -a "$TMP" >&2
 echo "bench: figure driver (cold first iteration + warm cache)" >&2
 go test -run='^$' -bench='BenchmarkFig3$' -benchmem -benchtime=3x . | tee -a "$TMP" >&2
 echo "bench: micro (sim/cache/stats/dram/optical)" >&2
@@ -43,17 +48,20 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{prin
 BEGIN { n = 0; bad = 0 }
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
-  iters = $2; ns = ""; bytes = ""; allocs = ""
+  iters = $2; ns = ""; bytes = ""; allocs = ""; apc = ""; cps = ""
   for (i = 3; i < NF; i++) {
     if ($(i+1) == "ns/op") ns = $i
     if ($(i+1) == "B/op") bytes = $i
     if ($(i+1) == "allocs/op") allocs = $i
+    if ($(i+1) == "allocs/cell") apc = $i
+    if ($(i+1) == "cells/sec") cps = $i
   }
   if (ns == "" || iters !~ /^[0-9]+$/) {
     printf "bench.sh: cannot parse benchmark line: %s\n", $0 > "/dev/stderr"
     bad = 1; exit 1
   }
-  names[n] = name; its[n] = iters; nss[n] = ns; bs[n] = bytes; as[n] = allocs; n++
+  names[n] = name; its[n] = iters; nss[n] = ns; bs[n] = bytes; as[n] = allocs
+  apcs[n] = apc; cpss[n] = cps; n++
 }
 END {
   if (bad) exit 1
@@ -66,15 +74,17 @@ END {
     printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
     if (bs[i] != "") printf ", \"b_per_op\": %s", bs[i]
     if (as[i] != "") printf ", \"allocs_per_op\": %s", as[i]
+    if (apcs[i] != "") printf ", \"allocs_per_cell\": %s", apcs[i]
+    if (cpss[i] != "") printf ", \"cells_per_sec\": %s", cpss[i]
     printf "}%s\n", (i < n-1 ? "," : "")
   }
   printf "  ]\n}\n"
 }' "$TMP" > "$OUT.tmp"
 
-# The snapshot must decode (-benches '' makes benchcheck a pure decode
-# check, so recording a baseline with intentionally changed benchmarks
-# still works), and only lands under its real name once complete.
-go run ./scripts/benchcheck -baseline "$OUT.tmp" -current "$OUT.tmp" -benches '' >/dev/null
+# The snapshot must decode (-benches '' -sweep-benches '' makes benchcheck
+# a pure decode check, so recording a baseline with intentionally changed
+# benchmarks still works), and only lands under its real name once complete.
+go run ./scripts/benchcheck -baseline "$OUT.tmp" -current "$OUT.tmp" -benches '' -sweep-benches '' >/dev/null
 mv "$OUT.tmp" "$OUT"
 
 echo "bench: wrote $OUT" >&2

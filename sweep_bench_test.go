@@ -1,0 +1,92 @@
+package main
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/config"
+)
+
+// sweepBenchCells is the small real grid behind BenchmarkSweepCold/Warm:
+// four platforms spanning all three channel/migration designs, both memory
+// modes and two Table II workloads — 16 cells that together exercise the
+// optical and electrical links, planar swap and two-level fill paths, and
+// the Origin host path, i.e. every component the run-state pool recycles.
+func sweepBenchCells(b *testing.B) []batch.Cell {
+	b.Helper()
+	spec := batch.SweepSpec{
+		Platforms:       []config.Platform{config.Origin, config.Hetero, config.OhmBase, config.OhmBW},
+		Modes:           []config.MemMode{config.Planar, config.TwoLevel},
+		Workloads:       []string{"lud", "bfsdata"},
+		MaxInstructions: 2000,
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cells
+}
+
+// reportSweepMetrics emits the two numbers the benchcheck gate watches:
+// sweep throughput in cells/sec and heap allocations per cell (from the
+// runtime's allocation counter, so it covers everything the grid does —
+// construction, event loop, reporting).
+func reportSweepMetrics(b *testing.B, cells int, elapsed time.Duration, m0, m1 *runtime.MemStats) {
+	total := float64(b.N * cells)
+	if elapsed > 0 {
+		b.ReportMetric(total/elapsed.Seconds(), "cells/sec")
+	}
+	b.ReportMetric(float64(m1.Mallocs-m0.Mallocs)/total, "allocs/cell")
+}
+
+// BenchmarkSweepCold runs the grid with no result cache: every cell
+// simulates. This is the number the run-state pool moves — after the first
+// grid primes the trace registry and the pool, each cell rebuilds its
+// platform into recycled arrays instead of reallocating them. Serial
+// (Workers=1) so cells/sec and allocs/cell are stable across hosts.
+func BenchmarkSweepCold(b *testing.B) {
+	cells := sweepBenchCells(b)
+	r := batch.NewRunner(1, nil)
+	if _, err := r.Run(cells); err != nil { // prime traces + state pool
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	reportSweepMetrics(b, len(cells), elapsed, &m0, &m1)
+}
+
+// BenchmarkSweepWarm runs the same grid against a warm content-addressed
+// cache: no cell simulates, so this measures the sweep engine's fixed
+// overhead (key hashing, cache decode, scheduling).
+func BenchmarkSweepWarm(b *testing.B) {
+	cells := sweepBenchCells(b)
+	r := batch.NewRunner(1, batch.NewMemCache())
+	if _, err := r.Run(cells); err != nil { // prime the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(cells); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	reportSweepMetrics(b, len(cells), elapsed, &m0, &m1)
+}
