@@ -47,7 +47,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func main() {
 	specPath := flag.String("spec", "", "JSON spec file: a SweepSpec grid or a {preset,mode,overrides,workload} scenario (flags below override its axes)")
 	platforms := flag.String("platforms", "", "comma-separated platforms (empty = all seven)")
-	modes := flag.String("modes", "", "comma-separated memory modes (empty = both)")
+	modes := flag.String("modes", "", "comma-separated mode tokens: planar|two-level, optionally +analytical for twin estimates, e.g. planar,planar+analytical (empty = both memory modes, simulated)")
 	workloads := flag.String("workloads", "", "comma-separated Table II workloads (empty = all ten)")
 	waveguides := flag.String("waveguides", "", "comma-separated optical waveguide counts to sweep (alias for -set optical.waveguides=...)")
 	var sets multiFlag
@@ -70,6 +70,10 @@ func main() {
 		for _, p := range config.OverridePaths() {
 			fmt.Printf("%-36s %s\n", p.Path, p.Type)
 		}
+		// Mode is a sweep axis, not an override path: surface it here so
+		// the one discoverability surface lists everything settable.
+		fmt.Printf("%-36s %s\n", "(axis) -modes / spec \"modes\"",
+			`planar|two-level[+analytical] — "+analytical" swaps the event simulator for the closed-form twin`)
 		return
 	}
 
@@ -162,11 +166,15 @@ func main() {
 }
 
 // dryRun is -validate: every cell's config must validate and hash; the
-// summary names the expanded axes so CI logs show what a spec covers.
+// summary names the expanded axes so CI logs show what a spec covers, and
+// the cost line estimates the sweep's compute before anything runs.
 func dryRun(cells []batch.Cell) error {
 	seen := make(map[string]struct{}, len(cells))
 	custom := 0
 	for _, c := range cells {
+		if c.Exec == config.ExecAnalytical && c.RunFn != nil {
+			return fmt.Errorf("cell %d (%s): analytical mode cannot evaluate a custom RunFn closure; drop +analytical or the closure", c.Index, c)
+		}
 		if err := c.Config.Validate(); err != nil {
 			return fmt.Errorf("cell %d (%s): %w", c.Index, c, err)
 		}
@@ -184,6 +192,12 @@ func dryRun(cells []batch.Cell) error {
 		fmt.Printf(", %d custom-workload cells", custom)
 	}
 	fmt.Println(")")
+	cost := batch.EstimateCost(cells)
+	fmt.Printf("estimated cost: ~%s cold (%d des", cost.Estimated.Round(time.Millisecond), cost.DESCells)
+	if cost.AnalyticalCells > 0 {
+		fmt.Printf(" + %d analytical", cost.AnalyticalCells)
+	}
+	fmt.Println(" cells; cache hits are free)")
 	for i, c := range cells {
 		if i == 8 {
 			fmt.Printf("  ... %d more\n", len(cells)-i)
@@ -216,12 +230,14 @@ func buildSpec(path, platforms, modes, workloads, waveguides string, sets []stri
 	}
 	if modes != "" {
 		spec.Modes = spec.Modes[:0]
+		spec.Execs = spec.Execs[:0]
 		for _, name := range strings.Split(modes, ",") {
-			m, err := config.ParseMode(strings.TrimSpace(name))
+			m, e, err := config.ParseModes(strings.TrimSpace(name))
 			if err != nil {
 				return spec, err
 			}
 			spec.Modes = append(spec.Modes, m)
+			spec.Execs = append(spec.Execs, e)
 		}
 	}
 	if workloads != "" {

@@ -25,12 +25,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/prof"
 	"repro/internal/stats"
+	"repro/internal/twin"
 )
 
 // multiFlag collects repeatable -set flags.
@@ -42,7 +44,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 func main() {
 	specPath := flag.String("spec", "", "scenario spec JSON file ({preset, mode, overrides, workload})")
 	platform := flag.String("platform", config.DefaultPreset, "platform preset: "+strings.Join(config.PresetNames(), "|"))
-	mode := flag.String("mode", "planar", "memory mode: planar|two-level")
+	mode := flag.String("mode", "planar", "mode: planar|two-level, +analytical for the closed-form twin (e.g. planar+analytical)")
 	workload := flag.String("workload", config.DefaultWorkload, "Table II workload name")
 	instr := flag.Int("instr", 0, "instructions per warp (0 = default 20000)")
 	waveguides := flag.Int("waveguides", 0, "optical waveguides (0 = default 1)")
@@ -63,7 +65,7 @@ func main() {
 
 	if *list {
 		fmt.Printf("platforms: %s\n", strings.Join(config.PresetNames(), " "))
-		fmt.Println("modes:     planar two-level")
+		fmt.Println("modes:     planar two-level planar+analytical two-level+analytical")
 		fmt.Printf("workloads: %s\n", strings.Join(config.WorkloadNames(), " "))
 		return
 	}
@@ -77,28 +79,46 @@ func main() {
 		fatalf("%v (try -list)", err)
 	}
 
-	sys, err := core.NewSystem(sc.Config)
-	if err != nil {
-		fatalf("%v", err)
+	var (
+		rep        stats.Report
+		devices    *deviceCounters
+		components []string
+	)
+	if sc.Exec == config.ExecAnalytical {
+		// The closed-form twin: no event loop, no device objects — the
+		// report's per-metric expected error lives in Extra["twin:mape:*"].
+		rep = twin.Estimate(&sc.Config, sc.Workload)
+		components = make([]string, 0, len(rep.EnergyPJ))
+		for k := range rep.EnergyPJ {
+			components = append(components, k)
+		}
+		sort.Strings(components)
+	} else {
+		sys, err := core.NewSystem(sc.Config)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		rep = sys.RunWorkloadDef(sc.Workload)
+		components = sys.Col.EnergyComponents()
+		devices = &deviceCounters{
+			MCReads:        sys.Col.Reads,
+			MCWrites:       sys.Col.Writes,
+			DRAMReads:      sys.Mem.DRAMReads,
+			DRAMWrites:     sys.Mem.DRAMWrites,
+			XPointReads:    sys.Mem.XPointReads,
+			XPointWrites:   sys.Mem.XPointWrites,
+			MigratedBytes:  sys.Col.MigratedBytes,
+			DualRouteBytes: sys.Col.DualRouteBytes,
+		}
 	}
-	rep := sys.RunWorkloadDef(sc.Workload)
 
 	if *asJSON {
 		doc := jsonReport{
 			Platform: sc.Config.Platform.String(),
-			Mode:     sc.Config.Mode.String(),
+			Mode:     config.ModeString(sc.Config.Mode, sc.Exec),
 			Workload: sc.Workload.Name,
 			Report:   rep,
-			Devices: deviceCounters{
-				MCReads:        sys.Col.Reads,
-				MCWrites:       sys.Col.Writes,
-				DRAMReads:      sys.Mem.DRAMReads,
-				DRAMWrites:     sys.Mem.DRAMWrites,
-				XPointReads:    sys.Mem.XPointReads,
-				XPointWrites:   sys.Mem.XPointWrites,
-				MigratedBytes:  sys.Col.MigratedBytes,
-				DualRouteBytes: sys.Col.DualRouteBytes,
-			},
+			Devices:  devices,
 		}
 		if sc.Custom {
 			w := sc.Workload
@@ -113,28 +133,39 @@ func main() {
 	}
 
 	fmt.Printf("platform       %s\n", sc.Config.Platform)
-	fmt.Printf("mode           %s\n", sc.Config.Mode)
+	fmt.Printf("mode           %s\n", config.ModeString(sc.Config.Mode, sc.Exec))
 	fmt.Printf("workload       %s\n", sc.Workload.Name)
 	fmt.Printf("elapsed        %s\n", rep.Elapsed)
 	fmt.Printf("IPC            %.3f\n", rep.IPC)
 	fmt.Printf("mem latency    %s (p99 %s)\n", rep.MeanLatency, rep.P99Latency)
-	fmt.Printf("mem requests   %d (%d reads / %d writes at MC)\n",
-		rep.MemRequests, sys.Col.Reads, sys.Col.Writes)
-	fmt.Printf("migrations     %d (%.1f MiB moved, %.1f MiB via dual routes)\n",
-		rep.Migrations, float64(sys.Col.MigratedBytes)/(1<<20), float64(sys.Col.DualRouteBytes)/(1<<20))
+	if devices != nil {
+		fmt.Printf("mem requests   %d (%d reads / %d writes at MC)\n",
+			rep.MemRequests, devices.MCReads, devices.MCWrites)
+		fmt.Printf("migrations     %d (%.1f MiB moved, %.1f MiB via dual routes)\n",
+			rep.Migrations, float64(devices.MigratedBytes)/(1<<20), float64(devices.DualRouteBytes)/(1<<20))
+	} else {
+		fmt.Printf("mem requests   %d\n", rep.MemRequests)
+		fmt.Printf("migrations     %d\n", rep.Migrations)
+	}
 	fmt.Printf("channel        regular %.1f MiB, copy %.1f MiB (copy busy fraction %.1f%%)\n",
 		float64(rep.RegularBytes)/(1<<20), float64(rep.CopyBytes)/(1<<20), 100*rep.CopyFraction)
 	fmt.Printf("caches         L1 %.1f%%, L2 %.1f%% hit\n",
 		100*rep.Extra["l1-hit-rate"], 100*rep.Extra["l2-hit-rate"])
-	fmt.Printf("devices        DRAM %d r / %d w; XPoint %d r / %d w\n",
-		sys.Mem.DRAMReads, sys.Mem.DRAMWrites, sys.Mem.XPointReads, sys.Mem.XPointWrites)
+	if devices != nil {
+		fmt.Printf("devices        DRAM %d r / %d w; XPoint %d r / %d w\n",
+			devices.DRAMReads, devices.DRAMWrites, devices.XPointReads, devices.XPointWrites)
+	}
 	fmt.Println("energy (pJ):")
 	total := rep.TotalEnergyPJ()
-	for _, k := range sys.Col.EnergyComponents() {
+	for _, k := range components {
 		v := rep.EnergyPJ[k]
 		fmt.Printf("  %-14s %14.0f (%.1f%%)\n", k, v, 100*v/total)
 	}
 	fmt.Printf("  %-14s %14.0f\n", "total", total)
+	if sc.Exec == config.ExecAnalytical {
+		fmt.Printf("expected error ipc ±%.0f%%, latency ±%.0f%%, energy ±%.0f%% (calibrated vs the event simulator; see docs/reference/analytical.md)\n",
+			100*rep.Extra["twin:mape:ipc"], 100*rep.Extra["twin:mape:mean-latency"], 100*rep.Extra["twin:mape:energy"])
+	}
 }
 
 // buildSpec assembles the scenario: the -spec file first, then explicit
@@ -190,7 +221,9 @@ type jsonReport struct {
 	Workload    string           `json:"workload"`
 	WorkloadDef *config.Workload `json:"workload_def,omitempty"`
 	Report      stats.Report     `json:"report"`
-	Devices     deviceCounters   `json:"devices"`
+	// Devices is absent for analytical runs: the twin has no device
+	// objects to count events on.
+	Devices *deviceCounters `json:"devices,omitempty"`
 }
 
 type deviceCounters struct {

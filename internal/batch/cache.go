@@ -15,7 +15,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/stats"
+	"repro/internal/twin"
 )
 
 // keyVersion invalidates every cached result when the simulator's
@@ -43,6 +45,15 @@ func (c Cell) Key() (string, error) {
 	h.Write([]byte(c.Workload))
 	h.Write([]byte{0})
 	h.Write([]byte(c.Salt))
+	if c.Exec == config.ExecAnalytical {
+		// Salt analytical keys with the execution mode AND the twin's model
+		// version: estimates must never answer for simulations (or vice
+		// versa), and retuning the twin must invalidate stale estimates
+		// without touching any DES entry. DES cells write nothing here, so
+		// their keys stay byte-identical to every cache ever populated.
+		h.Write([]byte{0})
+		h.Write([]byte("exec=analytical/" + twin.ModelVersion))
+	}
 	if c.WorkloadDef != nil {
 		def, err := json.Marshal(c.WorkloadDef)
 		if err != nil {

@@ -38,7 +38,7 @@ func Rows(cells []Cell, reports []stats.Report) []Row {
 		rows[i] = Row{
 			Index:       c.Index,
 			Platform:    c.Platform.String(),
-			Mode:        c.Mode.String(),
+			Mode:        config.ModeString(c.Mode, c.Exec),
 			Workload:    c.Workload,
 			Waveguides:  c.Config.Optical.Waveguides,
 			Overrides:   c.Overrides,
@@ -96,7 +96,7 @@ func WriteCSV(w io.Writer, cells []Cell, reports []stats.Report) error {
 		rec := []string{
 			strconv.Itoa(c.Index),
 			c.Platform.String(),
-			c.Mode.String(),
+			config.ModeString(c.Mode, c.Exec),
 			c.Workload,
 			strconv.Itoa(c.Config.Optical.Waveguides),
 			strconv.FormatInt(int64(r.Elapsed), 10),

@@ -2,7 +2,9 @@ package batch
 
 import (
 	"context"
+	"fmt"
 
+	"repro/internal/config"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -27,6 +29,34 @@ type LocalExecutor struct {
 }
 
 var _ Executor = LocalExecutor{}
+
+// AnalyticalExecutor forces every cell through the closed-form analytical
+// twin regardless of the mode the cell was authored with: it is the "give
+// me the whole sweep as estimates" switch for design-space exploration,
+// where a 10^3x cheaper answer per cell is worth a ~10% error bar.
+// Coerced cells keep the Runner's cache (analytical keys are salted with
+// the twin's model version, so estimates and simulations never collide).
+// Closure-carrying cells have no config/workload for the twin to evaluate
+// and are rejected up front, before any cell runs.
+type AnalyticalExecutor struct {
+	*Runner
+}
+
+var _ Executor = AnalyticalExecutor{}
+
+// RunContext coerces the cells to analytical execution and runs them on
+// the wrapped Runner.
+func (a AnalyticalExecutor) RunContext(ctx context.Context, cells []Cell, progress Progress) ([]stats.Report, error) {
+	coerced := make([]Cell, len(cells))
+	for i, c := range cells {
+		if c.RunFn != nil {
+			return nil, fmt.Errorf("batch: cell %d (%s): analytical mode cannot evaluate a custom RunFn closure", i, c)
+		}
+		c.Exec = config.ExecAnalytical
+		coerced[i] = c
+	}
+	return a.Runner.RunContext(ctx, coerced, progress)
+}
 
 // RunCell resolves a single cell through the Runner's full machinery —
 // cache lookup, single-flight, the process-wide simulation semaphore —

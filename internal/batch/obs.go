@@ -13,8 +13,8 @@ import "repro/internal/obs"
 // stays allocation-free (the benchcheck CI gate enforces it), so nothing
 // here is touched from inside a running simulation.
 var (
-	mCellsCompleted = obs.NewCounter("ohm_cells_completed_total",
-		"Sweep cells resolved by this process (cache hits included).")
+	mCellsCompleted = obs.NewCounterVec("ohm_cells_completed_total",
+		"Sweep cells resolved by this process (cache hits included).", "mode")
 	mCellDuration = obs.NewHistogram("ohm_cell_duration_seconds",
 		"Wall time to resolve one cell, cache hits included.", nil)
 	mCellPhase = obs.NewHistogramVec("ohm_cell_phase_seconds",

@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/trace"
+	"repro/internal/twin"
 )
 
 // Runner executes sweep cells on a pool of worker goroutines. Each cell is
@@ -42,10 +43,11 @@ type Runner struct {
 	// prove warm-cache runs never simulate.
 	RunFn RunFunc
 
-	hits    atomic.Uint64
-	misses  atomic.Uint64
-	shared  atomic.Uint64
-	putErrs atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	shared     atomic.Uint64
+	putErrs    atomic.Uint64
+	analytical atomic.Uint64
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -77,15 +79,19 @@ type Stats struct {
 	Misses    uint64
 	Shared    uint64
 	PutErrors uint64
+	// Analytical counts cells resolved in analytical (twin) mode,
+	// whether estimated fresh or served from the cache.
+	Analytical uint64
 }
 
 // Stats returns the accumulated counters.
 func (r *Runner) Stats() Stats {
 	return Stats{
-		Hits:      r.hits.Load(),
-		Misses:    r.misses.Load(),
-		Shared:    r.shared.Load(),
-		PutErrors: r.putErrs.Load(),
+		Hits:       r.hits.Load(),
+		Misses:     r.misses.Load(),
+		Shared:     r.shared.Load(),
+		PutErrors:  r.putErrs.Load(),
+		Analytical: r.analytical.Load(),
 	}
 }
 
@@ -160,7 +166,9 @@ func (r *Runner) RunContext(ctx context.Context, cells []Cell, progress Progress
 	defer pins.Release()
 	for i := range cells {
 		c := &cells[i]
-		if c.RunFn != nil {
+		if c.RunFn != nil || c.Exec == config.ExecAnalytical {
+			// RunFn cells are opaque; analytical cells never read a trace —
+			// the twin evaluates the trace's distribution in closed form.
 			continue
 		}
 		switch {
@@ -244,14 +252,18 @@ func (r *Runner) runCell(ctx context.Context, c Cell) (stats.Report, bool, obs.P
 		return rep, hit, ph, err
 	}
 	wall := time.Since(start)
-	mCellsCompleted.Inc()
+	analytical := c.Exec == config.ExecAnalytical
+	if analytical {
+		r.analytical.Add(1)
+	}
+	mCellsCompleted.With(c.Exec.String()).Inc()
 	mCellDuration.ObserveDuration(wall)
 	if !ph.IsZero() {
 		mCellPhase.With(phaseTraceGen).ObserveDuration(ph.TraceGen)
 		mCellPhase.With(phasePlatformBuild).ObserveDuration(ph.PlatformBuild)
 		mCellPhase.With(phaseEventLoop).ObserveDuration(ph.EventLoop)
 	}
-	obs.SpanFrom(ctx).RecordCell(wall, ph, hit, false)
+	obs.SpanFrom(ctx).RecordCellMode(wall, ph, hit, false, analytical)
 	return rep, hit, ph, nil
 }
 
@@ -371,6 +383,9 @@ joinFlight:
 // RunFn cells bypass the pool: a closure's construction is opaque, so
 // there is nothing to rebuild in place (see docs/reference/pooling.md).
 func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, obs.Phases, error) {
+	if c.Exec == config.ExecAnalytical {
+		return r.estimate(ctx, c)
+	}
 	if err := r.acquire(ctx); err != nil {
 		return stats.Report{}, obs.Phases{}, err
 	}
@@ -398,4 +413,33 @@ func (r *Runner) simulate(ctx context.Context, c Cell) (stats.Report, obs.Phases
 	}
 	rep, err := run(c.Config, c.Workload)
 	return rep, obs.Phases{}, err
+}
+
+// estimate resolves an analytical cell through the closed-form twin. The
+// twin takes the same inputs a simulation would — resolved config plus a
+// workload definition — so a closure-valued RunFn has nothing to hand it
+// and is rejected rather than silently simulated under an analytical
+// label. Estimates still take a simulation slot and count as misses: the
+// accounting invariant is "misses computed a result here", not "misses
+// ran the event loop", and a slot held for ~20µs costs nothing.
+func (r *Runner) estimate(ctx context.Context, c Cell) (stats.Report, obs.Phases, error) {
+	if c.RunFn != nil {
+		return stats.Report{}, obs.Phases{}, fmt.Errorf("batch: analytical mode cannot evaluate a custom RunFn closure; use a workload name or inline definition")
+	}
+	w := config.Workload{}
+	if c.WorkloadDef != nil {
+		w = *c.WorkloadDef
+	} else {
+		var ok bool
+		if w, ok = config.WorkloadByName(c.Workload); !ok {
+			return stats.Report{}, obs.Phases{}, fmt.Errorf("batch: analytical mode: unknown workload %q (custom runners are DES-only)", c.Workload)
+		}
+	}
+	if err := r.acquire(ctx); err != nil {
+		return stats.Report{}, obs.Phases{}, err
+	}
+	defer r.release()
+	r.misses.Add(1)
+	mCacheMisses.Inc()
+	return twin.Estimate(&c.Config, w), obs.Phases{}, nil
 }

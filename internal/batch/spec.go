@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/stats"
@@ -30,6 +31,11 @@ type Cell struct {
 	Index    int             `json:"index"`
 	Platform config.Platform `json:"-"`
 	Mode     config.MemMode  `json:"-"`
+	// Exec selects the evaluation engine: the discrete-event simulator
+	// (zero value) or the closed-form analytical twin. Analytical cells
+	// estimate instead of simulating; their cache keys are salted with the
+	// twin's model version so the two result families never collide.
+	Exec     config.ExecMode `json:"-"`
 	Workload string          `json:"workload"`
 	// WorkloadDef, when non-nil, is an inline custom workload (not a Table
 	// II entry): the simulation generates its trace from this struct and
@@ -50,7 +56,7 @@ type RunFunc func(cfg config.Config, workload string) (stats.Report, error)
 // String identifies the cell in errors and logs, including any override
 // patch so two cells of one sweep axis stay distinguishable.
 func (c Cell) String() string {
-	s := fmt.Sprintf("%s/%s/%s", c.Platform, c.Mode, c.Workload)
+	s := fmt.Sprintf("%s/%s/%s", c.Platform, config.ModeString(c.Mode, c.Exec), c.Workload)
 	if len(c.Overrides) > 0 {
 		s += "@" + overridesLabel(c.Overrides)
 	}
@@ -105,6 +111,12 @@ type Overrides map[string]Axis
 type SweepSpec struct {
 	Platforms []config.Platform `json:"-"`
 	Modes     []config.MemMode  `json:"-"`
+	// Execs pairs with Modes positionally: the wire "modes" entry
+	// "two-level+analytical" parses to Modes[i]=TwoLevel,
+	// Execs[i]=ExecAnalytical. Shorter than Modes means the remaining
+	// entries are DES (the zero value), so specs predating execution modes
+	// behave exactly as before.
+	Execs []config.ExecMode `json:"-"`
 	// Workloads lists workload names: Table II entries, or names defined in
 	// CustomWorkloads (spec-local definitions shadow Table II).
 	Workloads []string `json:"workloads,omitempty"`
@@ -153,8 +165,12 @@ func (s SweepSpec) MarshalJSON() ([]byte, error) {
 	for _, p := range s.Platforms {
 		w.Platforms = append(w.Platforms, p.String())
 	}
-	for _, m := range s.Modes {
-		w.Modes = append(w.Modes, m.String())
+	for i, m := range s.Modes {
+		e := config.ExecDES
+		if i < len(s.Execs) {
+			e = s.Execs[i]
+		}
+		w.Modes = append(w.Modes, config.ModeString(m, e))
 	}
 	return json.Marshal(w)
 }
@@ -183,12 +199,22 @@ func (s *SweepSpec) UnmarshalJSON(data []byte) error {
 		}
 		s.Platforms = append(s.Platforms, p)
 	}
+	allDES := true
 	for _, name := range w.Modes {
-		m, err := config.ParseMode(name)
+		m, e, err := config.ParseModes(name)
 		if err != nil {
 			return err
 		}
 		s.Modes = append(s.Modes, m)
+		s.Execs = append(s.Execs, e)
+		if e != config.ExecDES {
+			allDES = false
+		}
+	}
+	// Canonicalize the all-DES case to a nil Execs slice, so decoding a
+	// spec written before execution modes existed round-trips unchanged.
+	if allDES {
+		s.Execs = nil
 	}
 	return nil
 }
@@ -265,6 +291,7 @@ func ScenarioSpec(sc config.Spec) (SweepSpec, error) {
 	spec := SweepSpec{
 		Platforms: []config.Platform{r.Preset.Platform},
 		Modes:     []config.MemMode{r.Config.Mode},
+		Execs:     []config.ExecMode{r.Exec},
 		Workloads: []string{r.Workload.Name},
 	}
 	if r.Custom {
@@ -419,7 +446,11 @@ func (s SweepSpec) Cells() ([]Cell, error) {
 	}
 
 	var cells []Cell
-	for _, m := range s.Modes {
+	for mi, m := range s.Modes {
+		exec := config.ExecDES
+		if mi < len(s.Execs) {
+			exec = s.Execs[mi]
+		}
 		for _, combo := range combos {
 			for _, p := range s.Platforms {
 				for _, w := range s.Workloads {
@@ -446,6 +477,7 @@ func (s SweepSpec) Cells() ([]Cell, error) {
 						Index:       len(cells),
 						Platform:    p,
 						Mode:        m,
+						Exec:        exec,
 						Workload:    w,
 						WorkloadDef: def,
 						Config:      cfg,
@@ -464,4 +496,40 @@ func customNames(ws []config.Workload) []string {
 		names[i] = w.Name
 	}
 	return names
+}
+
+// Per-mode cell cost estimates for dry-run reporting: a warm DES cell costs
+// tens of milliseconds of event loop (BENCH baselines), an analytical cell
+// microseconds of closed-form arithmetic. These are order-of-magnitude
+// planning numbers for `ohmbatch -validate` and the POST /v1/sweeps dry
+// run, not measurements.
+const (
+	DESCellCost        = 25 * time.Millisecond
+	AnalyticalCellCost = 25 * time.Microsecond
+)
+
+// CostEstimate is a dry-run's view of what a spec will cost to execute
+// cold: the per-mode cell split and the serial compute estimate (divide by
+// the worker count for wall clock; cache hits make real runs cheaper).
+type CostEstimate struct {
+	Cells           int           `json:"cells"`
+	DESCells        int           `json:"des_cells"`
+	AnalyticalCells int           `json:"analytical_cells"`
+	Estimated       time.Duration `json:"estimated_cost_ns"`
+}
+
+// EstimateCost sums the per-mode cost estimate over a cell list.
+func EstimateCost(cells []Cell) CostEstimate {
+	var ce CostEstimate
+	ce.Cells = len(cells)
+	for _, c := range cells {
+		if c.Exec == config.ExecAnalytical {
+			ce.AnalyticalCells++
+		} else {
+			ce.DESCells++
+		}
+	}
+	ce.Estimated = time.Duration(ce.DESCells)*DESCellCost +
+		time.Duration(ce.AnalyticalCells)*AnalyticalCellCost
+	return ce
 }

@@ -81,6 +81,86 @@ func normalizeName(s string) string {
 	return strings.ReplaceAll(strings.ToLower(s), "_", "-")
 }
 
+// ExecMode selects how a scenario is evaluated: by the discrete-event
+// simulator (the default) or by the closed-form analytical twin
+// (internal/twin), which estimates the same report shape without running
+// the event loop. ExecMode is deliberately not a Config field: it changes
+// how a config is evaluated, not what is evaluated, so DES cache keys and
+// golden outputs are untouched by its existence.
+type ExecMode int
+
+const (
+	// ExecDES runs the discrete-event simulator.
+	ExecDES ExecMode = iota
+	// ExecAnalytical runs the closed-form analytical twin.
+	ExecAnalytical
+)
+
+func (e ExecMode) String() string {
+	if e == ExecAnalytical {
+		return "analytical"
+	}
+	return "des"
+}
+
+// AllExecModes lists both execution modes, DES first.
+func AllExecModes() []ExecMode { return []ExecMode{ExecDES, ExecAnalytical} }
+
+// ParseExecMode resolves an execution mode name: "des" (also "simulate")
+// or "analytical" (also "twin").
+func ParseExecMode(name string) (ExecMode, error) {
+	switch normalizeName(name) {
+	case "des", "simulate":
+		return ExecDES, nil
+	case "analytical", "twin":
+		return ExecAnalytical, nil
+	}
+	return 0, fmt.Errorf("config: unknown execution mode %q (des|analytical)", name)
+}
+
+// ParseModes resolves a combined mode token: a memory mode, an execution
+// mode, or both joined with "+" in either order. Accepted forms include
+// "planar", "two-level", "analytical" (planar memory, analytical
+// execution), "two-level+analytical" and "planar+des". The memory mode
+// defaults to planar when only an execution token is given.
+func ParseModes(name string) (MemMode, ExecMode, error) {
+	var (
+		mem     MemMode
+		exec    ExecMode
+		haveMem bool
+	)
+	for _, part := range strings.Split(name, "+") {
+		if e, err := ParseExecMode(part); err == nil {
+			if e == ExecAnalytical {
+				exec = ExecAnalytical
+			}
+			continue
+		}
+		m, err := ParseMode(part)
+		if err != nil {
+			return 0, 0, fmt.Errorf("config: unknown memory mode %q (planar|two-level, optionally +analytical)", name)
+		}
+		if haveMem && m != mem {
+			return 0, 0, fmt.Errorf("config: mode %q names two memory modes", name)
+		}
+		mem, haveMem = m, true
+	}
+	return mem, exec, nil
+}
+
+// ModeString renders the canonical combined mode token ParseModes accepts:
+// the bare memory mode for DES, "analytical" for planar+analytical, and
+// "two-level+analytical" otherwise.
+func ModeString(m MemMode, e ExecMode) string {
+	if e != ExecAnalytical {
+		return m.String()
+	}
+	if m == Planar {
+		return "analytical"
+	}
+	return m.String() + "+analytical"
+}
+
 // OpticalPlatforms lists the platforms whose memory channel is optical.
 func OpticalPlatforms() []Platform {
 	return []Platform{OhmBase, AutoRW, OhmWOM, OhmBW, Oracle}

@@ -24,6 +24,12 @@ func FuzzSpecResolve(f *testing.F) {
 		`{"workload":""}`,
 		`{"preset":"oHm_BaSe","mode":"2lm"}`,
 		`{"mode":"nope"}`,
+		`{"mode":"analytical"}`,
+		`{"preset":"ohm-bw","mode":"two-level+analytical","workload":"pagerank"}`,
+		`{"mode":"planar+des"}`,
+		`{"mode":"twin+two-level"}`,
+		`{"mode":"analytical+analytical"}`,
+		`{"mode":"+"}`,
 		`null`,
 	}
 	for _, s := range seeds {

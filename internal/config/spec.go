@@ -30,8 +30,11 @@ type Spec struct {
 	// Preset names a platform preset from the registry (the seven paper
 	// platforms); empty means "ohm-bw".
 	Preset string `json:"preset,omitempty"`
-	// Mode is the memory mode name ("planar" or "two-level"); empty means
-	// planar.
+	// Mode is the combined mode token: a memory mode ("planar" or
+	// "two-level"), optionally joined with an execution mode using "+"
+	// ("two-level+analytical"). The bare token "analytical" selects planar
+	// memory with analytical execution. Empty means planar memory evaluated
+	// by the discrete-event simulator.
 	Mode string `json:"mode,omitempty"`
 	// Overrides patches individual config fields by dotted path after the
 	// preset is built; see OverridePaths for the schema.
@@ -97,6 +100,9 @@ type Scenario struct {
 	// cache keys and trace generation. An inline definition identical to
 	// its Table II namesake is canonicalized back to the named form.
 	Custom bool
+	// Exec selects discrete-event simulation (default) or the closed-form
+	// analytical twin.
+	Exec ExecMode
 }
 
 // Resolve builds the scenario: preset lookup, mode parse, override patch,
@@ -116,7 +122,7 @@ func (s Spec) Resolve() (Scenario, error) {
 	if modeName == "" {
 		modeName = Planar.String()
 	}
-	mode, err := ParseMode(modeName)
+	mode, exec, err := ParseModes(modeName)
 	if err != nil {
 		return Scenario{}, fmt.Errorf("config: spec: %w", err)
 	}
@@ -160,7 +166,7 @@ func (s Spec) Resolve() (Scenario, error) {
 	if err := ValidateTraceBudget(w, &cfg); err != nil {
 		return Scenario{}, fmt.Errorf("config: spec: %w", err)
 	}
-	return Scenario{Preset: pre, Config: cfg, Workload: w, Custom: custom}, nil
+	return Scenario{Preset: pre, Config: cfg, Workload: w, Custom: custom, Exec: exec}, nil
 }
 
 // MaxTracePages caps a trace's page count (footprint / page size). Trace

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/config"
 	"repro/internal/obs"
 	"repro/internal/stats"
 )
@@ -325,10 +326,12 @@ func (d *Dispatcher) RunContext(ctx context.Context, cells []batch.Cell, progres
 			call.resolveSkip(i, err)
 			continue
 		}
-		if c.RunFn != nil {
+		if c.RunFn != nil || c.Exec == config.ExecAnalytical {
 			// Closure cells can't be serialized; run them on the local
 			// runner, which still gives them the cache and single-flight
-			// (salted cells) or direct execution (unsalted).
+			// (salted cells) or direct execution (unsalted). Analytical
+			// cells short-circuit to local execution too: a ~20us estimate
+			// costs less than one round trip of lease-queue transport.
 			go func(i int, c batch.Cell) {
 				rep, hit, err := d.Runner.RunCell(ctx, c)
 				call.resolve(i, rep, hit, err)

@@ -42,12 +42,13 @@ func (p Phases) IsZero() bool { return p == Phases{} }
 // in trace generation, platform setup, the event loop, cache churn or
 // remote dispatch?
 type JobSpan struct {
-	mu     sync.Mutex
-	cells  int
-	hits   int
-	remote int
-	wall   time.Duration
-	phases Phases
+	mu         sync.Mutex
+	cells      int
+	hits       int
+	remote     int
+	analytical int
+	wall       time.Duration
+	phases     Phases
 }
 
 // RecordCell folds one resolved cell into the span: its wall time (queue
@@ -55,6 +56,13 @@ type JobSpan struct {
 // simulated locally or shipped back by a worker, whether it was served
 // from cache, and whether a remote worker computed it.
 func (s *JobSpan) RecordCell(wall time.Duration, ph Phases, hit, remote bool) {
+	s.RecordCellMode(wall, ph, hit, remote, false)
+}
+
+// RecordCellMode is RecordCell with the cell's execution mode: analytical
+// cells (closed-form twin estimates) are counted separately so a job's
+// timing breakdown distinguishes estimated cells from simulated ones.
+func (s *JobSpan) RecordCellMode(wall time.Duration, ph Phases, hit, remote, analytical bool) {
 	if s == nil {
 		return
 	}
@@ -65,6 +73,9 @@ func (s *JobSpan) RecordCell(wall time.Duration, ph Phases, hit, remote bool) {
 	}
 	if remote {
 		s.remote++
+	}
+	if analytical {
+		s.analytical++
 	}
 	s.wall += wall
 	s.phases.Add(ph)
@@ -79,6 +90,9 @@ type SpanSnapshot struct {
 	CacheHits int `json:"cache_hits"`
 	// RemoteCells counts cells computed by remote workers.
 	RemoteCells int `json:"remote_cells"`
+	// AnalyticalCells counts cells resolved by the closed-form twin
+	// instead of the event simulator.
+	AnalyticalCells int `json:"analytical_cells"`
 	// CellsWall sums per-cell wall time across all cells (queueing and
 	// transport included); it exceeds elapsed time under parallelism.
 	CellsWall time.Duration `json:"cells_wall_ns"`
@@ -94,11 +108,12 @@ func (s *JobSpan) Snapshot() SpanSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return SpanSnapshot{
-		Cells:       s.cells,
-		CacheHits:   s.hits,
-		RemoteCells: s.remote,
-		CellsWall:   s.wall,
-		Phases:      s.phases,
+		Cells:           s.cells,
+		CacheHits:       s.hits,
+		RemoteCells:     s.remote,
+		AnalyticalCells: s.analytical,
+		CellsWall:       s.wall,
+		Phases:          s.phases,
 	}
 }
 

@@ -84,9 +84,11 @@ func NewHandler(m *Manager) http.Handler {
 			Heterogeneous bool     `json:"heterogeneous"`
 			Modes         []string `json:"modes"`
 		}
-		modes := make([]string, 0, len(config.AllModes()))
-		for _, m := range config.AllModes() {
-			modes = append(modes, m.String())
+		modes := make([]string, 0, len(config.AllModes())*len(config.AllExecModes()))
+		for _, e := range config.AllExecModes() {
+			for _, m := range config.AllModes() {
+				modes = append(modes, config.ModeString(m, e))
+			}
 		}
 		var out []entry
 		for _, p := range config.Presets() {
@@ -186,6 +188,10 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if dr := r.URL.Query().Get("dry_run"); dr != "" && dr != "0" && dr != "false" {
+		handleDryRun(w, req)
+		return
+	}
 	job, err := m.SubmitAs(tenant, req)
 	var adm *AdmissionError
 	switch {
@@ -212,6 +218,38 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 	default:
 		writeError(w, http.StatusBadRequest, "%v", err)
 	}
+}
+
+// dryRunResponse is the body of POST /v1/sweeps?dry_run=1: the request is
+// validated and expanded but never enqueued, and the client gets the cell
+// count, the DES/analytical split, and a cost estimate so it can decide
+// whether to submit — or to resubmit the sweep in analytical mode first.
+type dryRunResponse struct {
+	Kind         string             `json:"kind"`
+	Valid        bool               `json:"valid"`
+	DistinctKeys int                `json:"distinct_keys,omitempty"`
+	Cost         batch.CostEstimate `json:"cost"`
+}
+
+// handleDryRun validates a submission without admitting it. Dry runs
+// bypass admission control deliberately: they enqueue nothing and cost
+// microseconds, and a tenant sizing a sweep before submitting is exactly
+// the behaviour admission limits exist to encourage.
+func handleDryRun(w http.ResponseWriter, req Request) {
+	_, cells, err := req.prepare()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := dryRunResponse{Kind: req.Kind(), Valid: true, Cost: batch.EstimateCost(cells)}
+	keys := make(map[string]struct{}, len(cells))
+	for _, c := range cells {
+		if k, err := c.Key(); err == nil {
+			keys[k] = struct{}{}
+		}
+	}
+	resp.DistinctKeys = len(keys)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {

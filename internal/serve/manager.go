@@ -160,7 +160,10 @@ type Timing struct {
 	Run         time.Duration `json:"run_ns"`
 	CellsWall   time.Duration `json:"cells_wall_ns"`
 	RemoteCells int           `json:"remote_cells"`
-	Phases      obs.Phases    `json:"phases"`
+	// AnalyticalCells counts cells resolved by the closed-form twin
+	// rather than the event simulator.
+	AnalyticalCells int        `json:"analytical_cells"`
+	Phases          obs.Phases `json:"phases"`
 }
 
 // Job is one submitted unit of work and its (eventual) result.
@@ -239,6 +242,7 @@ func (j *Job) Status() Status {
 		snap := j.span.Snapshot() // nil-safe
 		tm.CellsWall = snap.CellsWall
 		tm.RemoteCells = snap.RemoteCells
+		tm.AnalyticalCells = snap.AnalyticalCells
 		tm.Phases = snap.Phases
 		s.Timing = tm
 	}
@@ -359,6 +363,9 @@ type Health struct {
 	// WorkersConnected counts registered remote workers when the manager
 	// executes through a distributing executor; absent otherwise.
 	WorkersConnected *int `json:"workers_connected,omitempty"`
+	// AnalyticalCells counts cells this process resolved in analytical
+	// (closed-form twin) mode since startup; absent without a runner.
+	AnalyticalCells *uint64 `json:"analytical_cells,omitempty"`
 	// Cache summarizes the shared result cache; absent when the runner
 	// has no cache.
 	Cache *CacheHealth `json:"cache,omitempty"`
@@ -401,6 +408,10 @@ func (m *Manager) Health() Health {
 	if wc, ok := m.Executor.(interface{ WorkerCount() int }); ok {
 		n := wc.WorkerCount()
 		h.WorkersConnected = &n
+	}
+	if m.runner != nil {
+		n := m.runner.Stats().Analytical
+		h.AnalyticalCells = &n
 	}
 	if m.runner != nil && m.runner.Cache != nil {
 		rs := m.runner.Stats()

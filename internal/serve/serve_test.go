@@ -653,8 +653,14 @@ func TestDiscoveryEndpoints(t *testing.T) {
 		t.Fatalf("platforms = %+v", platforms)
 	}
 	for _, p := range platforms {
-		if p.Title == "" || len(p.Modes) != 2 {
+		// Two memory modes x two execution modes, every token parseable.
+		if p.Title == "" || len(p.Modes) != 4 {
 			t.Fatalf("platform entry incomplete: %+v", p)
+		}
+		for _, tok := range p.Modes {
+			if _, _, err := config.ParseModes(tok); err != nil {
+				t.Fatalf("advertised mode %q does not parse: %v", tok, err)
+			}
 		}
 	}
 	if platforms[0].Optical || !platforms[5].Optical {

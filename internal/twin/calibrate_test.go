@@ -1,0 +1,132 @@
+// Calibration gate for the analytical twin: replays the full preset ×
+// memory-mode × Table II grid through both the event simulator and the
+// twin (via internal/twin/calib) and fails when the per-metric error
+// statistics drift from the committed testdata/twin/calibration.json
+// baseline. This is what makes the twin's accuracy a tested contract —
+// any model or kernel change that moves MAPE beyond calib.DriftTolerance
+// must consciously re-commit the baseline via scripts/twincheck -update.
+package twin_test
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/twin"
+	"repro/internal/twin/calib"
+)
+
+const baselinePath = "../../testdata/twin/calibration.json"
+
+func TestCalibrationGrid(t *testing.T) {
+	cells := calib.Grid()
+	want := len(config.Presets()) * len(config.AllModes()) * len(config.WorkloadNames())
+	if len(cells) != want {
+		t.Fatalf("grid has %d cells, want %d (presets × modes × workloads)", len(cells), want)
+	}
+	seen := map[calib.Cell]bool{}
+	for _, c := range cells {
+		if seen[c] {
+			t.Fatalf("duplicate grid cell %+v", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestCalibrationAgainstBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid DES replay; run without -short or use scripts/twincheck")
+	}
+	committed, err := calib.Load(filepath.FromSlash(baselinePath))
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v (create with scripts/twincheck -update)", err)
+	}
+	pairs, err := calib.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := calib.Summarize(pairs)
+	for _, bad := range calib.Compare(committed, fresh) {
+		t.Errorf("calibration drift: %s", bad)
+	}
+}
+
+// TestErrorBarsMatchBaseline pins the error bars the twin stamps into
+// Report.Extra["twin:mape:*"] to the committed calibration baseline, so a
+// re-calibration that moves the measured MAPE also has to update the
+// constants the estimator reports.
+func TestErrorBarsMatchBaseline(t *testing.T) {
+	committed, err := calib.Load(filepath.FromSlash(baselinePath))
+	if err != nil {
+		t.Fatalf("committed baseline missing: %v", err)
+	}
+	bars := twin.ErrorBars()
+	if len(bars) != len(calib.Metrics) {
+		t.Fatalf("ErrorBars has %d metrics, calibration tracks %d", len(bars), len(calib.Metrics))
+	}
+	for _, m := range calib.Metrics {
+		bar, ok := bars[m]
+		if !ok {
+			t.Errorf("metric %s: no reported error bar", m)
+			continue
+		}
+		if got := committed.Metrics[m].MAPE; math.Abs(bar-got) > 0.005 {
+			t.Errorf("metric %s: reported error bar %.4f != committed MAPE %.4f", m, bar, got)
+		}
+	}
+}
+
+// TestEstimateCarriesErrorBars checks every analytical report carries its
+// calibrated per-metric error bars and model version.
+func TestEstimateCarriesErrorBars(t *testing.T) {
+	cfg := config.Default(config.OhmBW, config.Planar)
+	w, _ := config.WorkloadByName("pagerank")
+	rep := twin.Estimate(&cfg, w)
+	if rep.Extra["twin:model-version"] == 0 {
+		t.Fatal("report missing twin:model-version")
+	}
+	for m, bar := range twin.ErrorBars() {
+		if got := rep.Extra["twin:mape:"+m]; got != bar {
+			t.Errorf("Extra[twin:mape:%s] = %v, want %v", m, got, bar)
+		}
+	}
+}
+
+// TestAnalyticalDocCoversTwinMetrics keeps docs/reference/analytical.md
+// honest the same way spec.md is kept honest for override paths: every
+// metric key an analytical report stamps into Extra must appear
+// (backtick-quoted) in the reference page, so adding a twin-reported
+// metric without documenting it fails CI.
+func TestAnalyticalDocCoversTwinMetrics(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "reference", "analytical.md"))
+	if err != nil {
+		t.Fatalf("reference page missing: %v", err)
+	}
+	cfg := config.Default(config.OhmBW, config.Planar)
+	w, _ := config.WorkloadByName("pagerank")
+	rep := twin.Estimate(&cfg, w)
+	for key := range rep.Extra {
+		if !strings.Contains(string(doc), "`"+key+"`") {
+			t.Errorf("docs/reference/analytical.md does not document report metric %q", key)
+		}
+	}
+}
+
+// BenchmarkTwinCell is the cost of one analytical cell. The acceptance
+// bar for the twin is ≥10³× cheaper than a warm DES cell (~21.6 ms in
+// BENCH snapshots), i.e. ≤ ~21.6 µs here.
+func BenchmarkTwinCell(b *testing.B) {
+	cfg := config.Default(config.OhmBW, config.Planar)
+	w, _ := config.WorkloadByName("pagerank")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := twin.Estimate(&cfg, w)
+		if rep.Elapsed == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}

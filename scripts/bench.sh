@@ -3,8 +3,8 @@
 # machine-readable BENCH_<n>.json at the repo root.
 #
 # Usage:
-#   scripts/bench.sh            # writes BENCH_8.json
-#   scripts/bench.sh BENCH_9.json
+#   scripts/bench.sh            # writes BENCH_9.json
+#   scripts/bench.sh BENCH_10.json
 #
 # The suite covers four layers:
 #   - kernel:   BenchmarkKernelSchedule* (steady-state event loop, allocs/op)
@@ -15,13 +15,15 @@
 #               pool against per-cell allocation regressions)
 #   - figures:  BenchmarkFig3 (the motivation study; warm iterations hit the
 #               in-process result cache, so run it cold-aware via benchtime)
+#   - twin:     BenchmarkTwinCell (one closed-form analytical cell; the
+#               acceptance bar is >=10^3x cheaper than a warm DES cell)
 #
 # Each PR that changes a hot path re-runs this script and commits the new
 # BENCH_<n>.json, so the perf trajectory is recorded next to the code.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 TMP="$(mktemp)"
 trap 'rm -f "$TMP" "$OUT.tmp"' EXIT
 
@@ -33,6 +35,8 @@ echo "bench: sweep grid (cold simulate + warm result cache)" >&2
 go test -run='^$' -bench='BenchmarkSweepCold$|BenchmarkSweepWarm$' -benchmem -benchtime=5x . | tee -a "$TMP" >&2
 echo "bench: figure driver (cold first iteration + warm cache)" >&2
 go test -run='^$' -bench='BenchmarkFig3$' -benchmem -benchtime=3x . | tee -a "$TMP" >&2
+echo "bench: analytical twin (one closed-form cell)" >&2
+go test -run='^$' -bench='BenchmarkTwinCell$' -benchmem -benchtime=10000x ./internal/twin | tee -a "$TMP" >&2
 echo "bench: micro (sim/cache/stats/dram/optical)" >&2
 go test -run='^$' -bench='.' -benchmem -benchtime=10000x \
   ./internal/sim ./internal/cache ./internal/stats ./internal/dram ./internal/optical | tee -a "$TMP" >&2

@@ -1,0 +1,77 @@
+// Command twincheck is the calibration-drift gate for the analytical
+// twin: it replays every platform preset in both memory modes across the
+// full Table II workload suite through both the event simulator and the
+// closed-form twin, summarizes per-metric error statistics (MAPE, Pearson
+// r, worst cell), and diffs them against the committed baseline
+// testdata/twin/calibration.json. It exits non-zero when any metric's
+// MAPE drifts more than calib.DriftTolerance from the baseline or its
+// correlation falls — meaning the twin or the simulator changed behaviour
+// and the baseline must be consciously re-committed.
+//
+// Usage:
+//
+//	go run ./scripts/twincheck                 # gate against the baseline
+//	go run ./scripts/twincheck -update         # re-measure and rewrite it
+//	go run ./scripts/twincheck -baseline PATH  # non-default baseline path
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/twin"
+	"repro/internal/twin/calib"
+)
+
+func main() {
+	baseline := flag.String("baseline", "testdata/twin/calibration.json", "committed calibration baseline")
+	update := flag.Bool("update", false, "rewrite the baseline from a fresh measurement instead of gating")
+	flag.Parse()
+
+	pairs, err := calib.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "twincheck:", err)
+		os.Exit(1)
+	}
+	fresh := calib.Summarize(pairs)
+	printSummary(fresh)
+
+	if *update {
+		if err := calib.Save(*baseline, fresh); err != nil {
+			fmt.Fprintln(os.Stderr, "twincheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("twincheck: baseline %s updated (%s, %d cells)\n", *baseline, fresh.ModelVersion, fresh.Cells)
+		return
+	}
+
+	committed, err := calib.Load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "twincheck: %v (run with -update to create the baseline)\n", err)
+		os.Exit(1)
+	}
+	if bad := calib.Compare(committed, fresh); len(bad) > 0 {
+		for _, b := range bad {
+			fmt.Fprintln(os.Stderr, "twincheck: drift:", b)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("twincheck: calibration holds against %s (%s, %d cells, tolerance %.2f MAPE points)\n",
+		*baseline, committed.ModelVersion, committed.Cells, calib.DriftTolerance)
+}
+
+func printSummary(s calib.Summary) {
+	names := make([]string, 0, len(s.Metrics))
+	for m := range s.Metrics {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	bars := twin.ErrorBars()
+	for _, m := range names {
+		e := s.Metrics[m]
+		fmt.Printf("%-14s MAPE %5.1f%%  r %.3f  worst %6.1f%% %s  (reported error bar %.1f%%)\n",
+			m, e.MAPE*100, e.Pearson, e.WorstErr*100, e.WorstCell, bars[m]*100)
+	}
+}
