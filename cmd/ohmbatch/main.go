@@ -10,6 +10,8 @@
 //	ohmbatch -set xpoint.write_latency_ns=1200 -set optical.waveguides=1,2,4
 //	ohmbatch -spec sweep.json                       # SweepSpec or scenario file
 //	ohmbatch -spec scenario.json -validate          # dry-run expand, no simulation
+//	ohmbatch -optimize search.json                  # optimizer job over override axes
+//	ohmbatch -optimize search.json -validate        # validate + price, run nothing
 //	ohmbatch -print-spec -waveguides 1,2 > sweep.json
 //	ohmbatch -paths                                 # list overridable config paths
 //
@@ -18,12 +20,21 @@
 // the ohmserve daemon accept. -set adds override axes from the command
 // line: a comma-separated value list sweeps that path.
 //
+// -optimize runs a search spec (see docs/reference/optimizer.md) instead
+// of a grid: random search, successive halving or a (μ+λ) evolutionary
+// strategy over declared axes, with the analytical twin as the inner loop
+// and DES confirmation of the Pareto frontier. The result document is
+// byte-identical to what POST /v1/optimize serves for the same (spec,
+// seed).
+//
 // Results are cached under -cache (default .ohmbatch-cache) keyed by a
 // hash of the fully-resolved configuration and workload, so re-running a
 // spec — or a different spec overlapping it — only simulates new cells.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -36,6 +47,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/config"
 	"repro/internal/prof"
+	"repro/internal/search"
 )
 
 // multiFlag collects repeatable -set flags.
@@ -46,6 +58,7 @@ func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
 func main() {
 	specPath := flag.String("spec", "", "JSON spec file: a SweepSpec grid or a {preset,mode,overrides,workload} scenario (flags below override its axes)")
+	optimizePath := flag.String("optimize", "", "JSON optimizer spec file: search over override axes instead of a grid (see docs/reference/optimizer.md)")
 	platforms := flag.String("platforms", "", "comma-separated platforms (empty = all seven)")
 	modes := flag.String("modes", "", "comma-separated mode tokens: planar|two-level, optionally +analytical for twin estimates, e.g. planar,planar+analytical (empty = both memory modes, simulated)")
 	workloads := flag.String("workloads", "", "comma-separated Table II workloads (empty = all ten)")
@@ -84,6 +97,17 @@ func main() {
 	stopProfiles = stopProf
 	defer stopProf()
 
+	if *optimizePath != "" {
+		if *specPath != "" {
+			fatalf("-optimize and -spec are mutually exclusive")
+		}
+		if *format != "json" {
+			fatalf("optimizer results are JSON only (format %q not available)", *format)
+		}
+		runOptimize(*optimizePath, *validate, *workers, *cacheDir, *cacheMax, *out, *quiet)
+		return
+	}
+
 	spec, err := buildSpec(*specPath, *platforms, *modes, *workloads, *waveguides, sets, *instr)
 	if err != nil {
 		fatalf("%v", err)
@@ -108,21 +132,9 @@ func main() {
 		return
 	}
 
-	var cacheBudget int64
-	if *cacheMax != "" {
-		var err error
-		cacheBudget, err = config.ParseBytes(*cacheMax)
-		if err != nil {
-			fatalf("-cache-max-bytes: %v", err)
-		}
-	}
-	var cache batch.Cache
-	if *cacheDir != "" {
-		dc, err := batch.NewBoundedDiskCache(*cacheDir, cacheBudget)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		cache = dc
+	cache, err := openCache(*cacheDir, *cacheMax)
+	if err != nil {
+		fatalf("%v", err)
 	}
 	runner := batch.NewRunner(*workers, cache)
 
@@ -165,6 +177,92 @@ func main() {
 	}
 }
 
+// openCache builds the disk result cache from the -cache / -cache-max-bytes
+// flags; an empty dir disables caching.
+func openCache(dir, maxBytes string) (batch.Cache, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	var budget int64
+	if maxBytes != "" {
+		b, err := config.ParseBytes(maxBytes)
+		if err != nil {
+			return nil, fmt.Errorf("-cache-max-bytes: %w", err)
+		}
+		budget = b
+	}
+	return batch.NewBoundedDiskCache(dir, budget)
+}
+
+// runOptimize is -optimize: load and validate the search spec, then either
+// print the dry-run pricing (-validate) or run the optimizer on the local
+// executor and emit the canonical result JSON.
+func runOptimize(path string, validate bool, workers int, cacheDir, cacheMax, out string, quiet bool) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var spec search.Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if err := spec.Validate(); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+	if validate {
+		fmt.Printf("optimizer spec OK: %d axes, %d objectives, algorithm %s\n",
+			len(spec.Axes), len(spec.Objectives), spec.Search.WithDefaults().Algorithm)
+		fmt.Printf("planned: %d analytical-twin evaluations; Pareto-frontier points are additionally DES-confirmed\n",
+			spec.PlannedEvaluations())
+		return
+	}
+
+	cache, err := openCache(cacheDir, cacheMax)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	runner := batch.NewRunner(workers, cache)
+	opts := search.Options{Executor: batch.LocalExecutor{Runner: runner}}
+	if !quiet {
+		opts.OnPhase = func(p search.Progress) {
+			switch p.Phase {
+			case "search":
+				fmt.Fprintf(os.Stderr, "ohmbatch: optimize: generation %d/%d (%d/%d evaluations)\n",
+					p.Generation, p.Generations, p.Evaluated, p.Planned)
+			case "confirm":
+				fmt.Fprintf(os.Stderr, "ohmbatch: optimize: confirming %d frontier points under DES\n",
+					p.FrontierSize)
+			}
+		}
+	}
+	start := time.Now()
+	res, err := search.Run(context.Background(), spec, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	elapsed := time.Since(start)
+
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := search.WriteJSON(w, res); err != nil {
+		fatalf("%v", err)
+	}
+	if !quiet {
+		st := runner.Stats()
+		fmt.Fprintf(os.Stderr, "ohmbatch: optimize: %d evaluations, %d frontier points (%d DES-confirmed) in %s (%d cached, %d simulated)\n",
+			res.Evaluated, len(res.Frontier), res.Confirmed, elapsed.Round(time.Millisecond), st.Hits, st.Misses)
+	}
+}
+
 // dryRun is -validate: every cell's config must validate and hash; the
 // summary names the expanded axes so CI logs show what a spec covers, and
 // the cost line estimates the sweep's compute before anything runs.
@@ -196,6 +294,9 @@ func dryRun(cells []batch.Cell) error {
 	fmt.Printf("estimated cost: ~%s cold (%d des", cost.Estimated.Round(time.Millisecond), cost.DESCells)
 	if cost.AnalyticalCells > 0 {
 		fmt.Printf(" + %d analytical", cost.AnalyticalCells)
+	}
+	if cost.ClosureCells > 0 {
+		fmt.Printf(" + %d closure (excluded from the estimate)", cost.ClosureCells)
 	}
 	fmt.Println(" cells; cache hits are free)")
 	for i, c := range cells {

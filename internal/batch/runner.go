@@ -267,6 +267,28 @@ func (r *Runner) runCell(ctx context.Context, c Cell) (stats.Report, bool, obs.P
 	return rep, hit, ph, nil
 }
 
+// NoteExternalResolve accounts for a cell that was resolved outside
+// runCell — the dist coordinator serving a waiter straight from the
+// shared cache, or handing extra same-key waiters a copy of one computed
+// result. Without this, a cell resolved by the dispatcher's fast path
+// would vanish from ohm_cells_completed{mode} and the /v1/healthz cache
+// counters, so a clustered run would under-report completed cells
+// relative to an identical single-process run. shared marks the
+// piggyback case (several waiters, one computation), mirroring the
+// single-flight follower accounting in resolveCell.
+func (r *Runner) NoteExternalResolve(exec config.ExecMode, shared bool) {
+	r.hits.Add(1)
+	mCacheHits.Inc()
+	if shared {
+		r.shared.Add(1)
+		mCacheShared.Inc()
+	}
+	if exec == config.ExecAnalytical {
+		r.analytical.Add(1)
+	}
+	mCellsCompleted.With(exec.String()).Inc()
+}
+
 // resolveCell resolves one cell: cache lookup, then single-flight
 // simulation, then store. The bool result reports whether the cell was
 // served without simulating here (cache hit or shared in-flight result).

@@ -511,10 +511,15 @@ const (
 // CostEstimate is a dry-run's view of what a spec will cost to execute
 // cold: the per-mode cell split and the serial compute estimate (divide by
 // the worker count for wall clock; cache hits make real runs cheaper).
+// Closure cells (experiment-driver RunFn) run arbitrary code the estimator
+// cannot price: they are counted and loudly excluded from Estimated rather
+// than silently mispriced as standard DES cells — the same honesty the
+// analytical executor applies when it rejects closures outright.
 type CostEstimate struct {
 	Cells           int           `json:"cells"`
 	DESCells        int           `json:"des_cells"`
 	AnalyticalCells int           `json:"analytical_cells"`
+	ClosureCells    int           `json:"closure_cells,omitempty"`
 	Estimated       time.Duration `json:"estimated_cost_ns"`
 }
 
@@ -523,9 +528,12 @@ func EstimateCost(cells []Cell) CostEstimate {
 	var ce CostEstimate
 	ce.Cells = len(cells)
 	for _, c := range cells {
-		if c.Exec == config.ExecAnalytical {
+		switch {
+		case c.RunFn != nil:
+			ce.ClosureCells++
+		case c.Exec == config.ExecAnalytical:
 			ce.AnalyticalCells++
-		} else {
+		default:
 			ce.DESCells++
 		}
 	}

@@ -347,6 +347,11 @@ func (d *Dispatcher) RunContext(ctx context.Context, cells []batch.Cell, progres
 		if rep, ok := d.cacheGet(key); ok {
 			d.cacheHits.Add(1)
 			mDistCacheHits.Inc()
+			// The runner never saw this cell, so fold the hit into its
+			// counters here — otherwise ohm_cells_completed{mode} and the
+			// healthz cache stats under-report versus a single-process run
+			// of the same sweep.
+			d.Runner.NoteExternalResolve(c.Exec, false)
 			call.span.RecordCell(time.Since(hitStart), obs.Phases{}, true, false)
 			call.resolve(i, rep, true, nil)
 			continue
@@ -527,6 +532,13 @@ func (d *Dispatcher) finalize(t *task, rep stats.Report, hit bool, ph obs.Phases
 			} else {
 				r = cloneReport(rep)
 			}
+			// Piggyback waiters resolve without the runner ever seeing
+			// their cell; count them as shared hits so the mode-split
+			// completion counter matches what a single-process run of the
+			// same cells would report. The first waiter is counted where
+			// the work happened: locally by runCell, remotely by the
+			// worker's own runner.
+			d.Runner.NoteExternalResolve(t.cell.Exec, true)
 			w.call.span.RecordCell(wall, obs.Phases{}, true, remote)
 		} else {
 			w.call.span.RecordCell(wall, ph, hit, remote)

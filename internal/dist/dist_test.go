@@ -460,3 +460,112 @@ func TestWireCellRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestDispatcherFoldsExternalResolvesIntoRunnerCounters pins the
+// mode-split accounting contract for clustered runs: cells the
+// coordinator resolves without its runner ever seeing them — the
+// dispatcher's own cache-hit fast path and piggyback waiters on a shared
+// in-flight task — must still land in the runner's hit/shared counters
+// (and therefore in ohm_cells_completed{mode} and /v1/healthz), so a
+// cluster does not under-report completed cells versus a single-process
+// run of the same sweep. The first waiter on a remotely executed cell is
+// deliberately NOT counted here: the worker's runner counted it, and
+// counting it again would double the cluster-wide total.
+func TestDispatcherFoldsExternalResolvesIntoRunnerCounters(t *testing.T) {
+	c := newCluster(t, -1, nil) // pure dispatch: every cell must travel
+
+	// Two identical jobs queued before any worker exists: each of the six
+	// distinct cells gets one task with two waiters. The first waiter is
+	// the worker's work (not counted on the coordinator); the second is a
+	// piggyback resolve (counted as a shared hit).
+	id1 := c.submit(sixCells)
+	id2 := c.submit(sixCells)
+	startWorker(t, c.ts.URL, fakeRun, 2)
+	if st := c.wait(id1, 30*time.Second); st.State != serve.StateDone {
+		t.Fatalf("job 1: %s (%s)", st.State, st.Error)
+	}
+	if st := c.wait(id2, 30*time.Second); st.State != serve.StateDone {
+		t.Fatalf("job 2: %s (%s)", st.State, st.Error)
+	}
+	st := c.runner.Stats()
+	if st.Hits != 6 || st.Shared != 6 || st.Misses != 0 {
+		t.Fatalf("after two piggybacked jobs: hits=%d shared=%d misses=%d, want 6/6/0",
+			st.Hits, st.Shared, st.Misses)
+	}
+
+	// A warm resubmit answers entirely from the dispatcher's cache-hit
+	// fast path; each of those must count as a (non-shared) hit too.
+	id3 := c.submit(sixCells)
+	if s := c.wait(id3, 10*time.Second); s.State != serve.StateDone {
+		t.Fatalf("warm job: %s (%s)", s.State, s.Error)
+	}
+	st = c.runner.Stats()
+	if st.Hits != 12 || st.Shared != 6 || st.Misses != 0 {
+		t.Fatalf("after warm resubmit: hits=%d shared=%d misses=%d, want 12/6/0",
+			st.Hits, st.Shared, st.Misses)
+	}
+}
+
+// TestOptimizeCancelRevokesWorkerLease runs the optimizer's DES
+// confirmation phase against a pure dispatcher, leases a confirmation
+// cell to a hand-driven worker that never completes it, cancels the job,
+// and requires the worker's next heartbeat to revoke the lease — cluster
+// capacity must not stay pinned to a dead job.
+func TestOptimizeCancelRevokesWorkerLease(t *testing.T) {
+	c := newCluster(t, -1, nil) // pure dispatch: confirm cells must travel
+
+	// Analytical evaluations short-circuit to the coordinator's runner,
+	// so the job reaches its confirm phase with no worker connected; the
+	// DES confirmation cells queue on the dispatcher.
+	body := `{
+	  "base": {"preset": "ohm-bw", "mode": "two-level", "workload": "pagerank",
+	           "overrides": {"max_instructions": 2000}},
+	  "axes": [{"path": "optical.waveguides", "min": 1, "max": 8}],
+	  "objectives": [{"metric": "throughput"}],
+	  "search": {"algorithm": "random", "seed": 5, "budget": 4, "confirm_top": 2}
+	}`
+	code, data := c.do("POST", "/v1/optimize", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, data)
+	}
+	var st serve.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	w := newRawWorker(t, c)
+	var cells []dist.WireCell
+	deadline := time.Now().Add(30 * time.Second)
+	for len(cells) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no confirmation cell ever queued for lease")
+		}
+		cells = w.lease(1)
+		if len(cells) == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	taskID := cells[0].TaskID
+
+	if code, data := c.do("DELETE", "/v1/jobs/"+st.ID, ""); code != http.StatusOK {
+		t.Fatalf("cancel = %d: %s", code, data)
+	}
+	fin := c.wait(st.ID, 30*time.Second)
+	if fin.State != serve.StateCancelled {
+		t.Fatalf("cancelled optimizer job = %+v", fin)
+	}
+
+	// The worker still holds the lease from its point of view; the
+	// heartbeat must hand the revocation back.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		hb := w.heartbeat([]string{taskID})
+		if len(hb.Revoked) == 1 && hb.Revoked[0] == taskID {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("lease on %s never revoked after cancel: %+v", taskID, hb)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

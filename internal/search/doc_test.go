@@ -1,0 +1,56 @@
+package search
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestOptimizerDocCoversEverySpecField keeps docs/reference/optimizer.md
+// honest the same way spec.md is kept honest for override paths: every
+// wire field of the optimizer's spec, result and progress types — and
+// every objective metric name — must appear in the reference page,
+// either backtick-quoted or as a JSON key in an example block, so the
+// documented schema cannot drift from the code.
+func TestOptimizerDocCoversEverySpecField(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "reference", "optimizer.md"))
+	if err != nil {
+		t.Fatalf("reference page missing: %v", err)
+	}
+	doc := string(raw)
+	covered := func(name string) bool {
+		return strings.Contains(doc, "`"+name+"`") || strings.Contains(doc, `"`+name+`"`)
+	}
+
+	var fields []string
+	for _, typ := range []reflect.Type{
+		reflect.TypeOf(Spec{}),
+		reflect.TypeOf(Axis{}),
+		reflect.TypeOf(Objective{}),
+		reflect.TypeOf(Strategy{}),
+		reflect.TypeOf(Result{}),
+		reflect.TypeOf(FrontierPoint{}),
+		reflect.TypeOf(Decision{}),
+		reflect.TypeOf(Progress{}),
+	} {
+		for i := 0; i < typ.NumField(); i++ {
+			tag := typ.Field(i).Tag.Get("json")
+			name := strings.Split(tag, ",")[0]
+			if name == "" || name == "-" {
+				continue
+			}
+			fields = append(fields, name)
+		}
+	}
+	fields = append(fields, MetricNames()...)
+	for alias := range metricAliases {
+		fields = append(fields, alias)
+	}
+	for _, name := range fields {
+		if !covered(name) {
+			t.Errorf("docs/reference/optimizer.md does not document field or metric %q", name)
+		}
+	}
+}

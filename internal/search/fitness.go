@@ -1,0 +1,138 @@
+package search
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// metricDef maps one canonical metric name to its extractor and natural
+// optimization direction.
+type metricDef struct {
+	maximize bool
+	value    func(stats.Report) float64
+}
+
+// metricTable defines the objective metrics. "wear_bytes" is the
+// endurance proxy: total bytes written through the memory channels
+// (regular traffic plus migration copies), the quantity cell wear scales
+// with when no per-line wear instrumentation is attached.
+var metricTable = map[string]metricDef{
+	"ipc":             {true, func(r stats.Report) float64 { return r.IPC }},
+	"elapsed_ns":      {false, func(r stats.Report) float64 { return r.Elapsed.Nanoseconds() }},
+	"mean_latency_ns": {false, func(r stats.Report) float64 { return r.MeanLatency.Nanoseconds() }},
+	"p99_latency_ns":  {false, func(r stats.Report) float64 { return r.P99Latency.Nanoseconds() }},
+	"energy_pj":       {false, func(r stats.Report) float64 { return r.TotalEnergyPJ() }},
+	"mem_requests":    {false, func(r stats.Report) float64 { return float64(r.MemRequests) }},
+	"migrations":      {false, func(r stats.Report) float64 { return float64(r.Migrations) }},
+	"copy_bytes":      {false, func(r stats.Report) float64 { return float64(r.CopyBytes) }},
+	"wear_bytes":      {false, func(r stats.Report) float64 { return float64(r.RegularBytes + r.CopyBytes) }},
+}
+
+// metricAliases maps accepted spellings to canonical names.
+var metricAliases = map[string]string{
+	"throughput": "ipc",
+	"endurance":  "wear_bytes",
+}
+
+// canonicalMetric resolves a metric spelling to its canonical name and
+// natural direction.
+func canonicalMetric(name string) (canonical string, maximize bool, ok bool) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	if alias, found := metricAliases[key]; found {
+		key = alias
+	}
+	def, found := metricTable[key]
+	if !found {
+		return "", false, false
+	}
+	return key, def.maximize, true
+}
+
+// MetricNames lists the canonical objective metrics, sorted.
+func MetricNames() []string {
+	names := make([]string, 0, len(metricTable))
+	for n := range metricTable {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// metricsOf extracts the objective metrics from a report.
+func metricsOf(objs []objectiveSpec, rep stats.Report) map[string]float64 {
+	out := make(map[string]float64, len(objs))
+	for _, o := range objs {
+		out[o.metric] = metricTable[o.metric].value(rep)
+	}
+	return out
+}
+
+// ratioEps keeps baseline-relative scores finite when a metric is zero on
+// either side; real magnitudes (ns, pJ, bytes) dwarf it.
+const ratioEps = 1e-9
+
+// score computes one objective's baseline-relative score: >1 means the
+// candidate improves on the baseline regardless of direction (value/base
+// for max goals, base/value for min goals).
+func (o objectiveSpec) score(value, base float64) float64 {
+	if o.maximize {
+		return (value + ratioEps) / (base + ratioEps)
+	}
+	return (base + ratioEps) / (value + ratioEps)
+}
+
+// violations returns the caps a metric set violates, formatted for the
+// decision log, in objective order. A value exactly at its cap is
+// feasible.
+func violations(objs []objectiveSpec, metrics map[string]float64) []string {
+	var out []string
+	for _, o := range objs {
+		if o.cap == nil {
+			continue
+		}
+		v := metrics[o.metric]
+		if o.maximize && v < *o.cap {
+			out = append(out, fmt.Sprintf("%s=%g < cap %g", o.metric, v, *o.cap))
+		}
+		if !o.maximize && v > *o.cap {
+			out = append(out, fmt.Sprintf("%s=%g > cap %g", o.metric, v, *o.cap))
+		}
+	}
+	return out
+}
+
+// fitnessOf folds per-objective scores into the weighted scalar fitness.
+func fitnessOf(objs []objectiveSpec, scores map[string]float64) float64 {
+	var sum, wsum float64
+	for _, o := range objs {
+		sum += o.weight * scores[o.metric]
+		wsum += o.weight
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return sum / wsum
+}
+
+// dominates reports whether metric set a Pareto-dominates b: at least as
+// good on every objective (direction-adjusted) and strictly better on at
+// least one.
+func dominates(objs []objectiveSpec, a, b map[string]float64) bool {
+	strict := false
+	for _, o := range objs {
+		av, bv := a[o.metric], b[o.metric]
+		if !o.maximize {
+			av, bv = -av, -bv
+		}
+		if av < bv {
+			return false
+		}
+		if av > bv {
+			strict = true
+		}
+	}
+	return strict
+}

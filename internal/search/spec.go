@@ -1,0 +1,350 @@
+// Package search adds optimization on top of the sweep engine: instead of
+// exhaustively gridding override axes, a seeded search strategy (random
+// sampling, successive halving, or a (μ+λ) evolutionary strategy) explores
+// declared axes — continuous ranges, integer steps, categorical sets
+// layered on config.OverridePaths — steered by a weighted multi-objective
+// fitness spec with constraint caps. Candidates evaluate through the
+// batch.Executor seam: the closed-form analytical twin is the cheap inner
+// loop, and the Pareto-frontier survivors are re-evaluated under the
+// discrete-event simulator for confirmation (mode-salted cache keys keep
+// the two result families separate). Every run emits the frontier plus a
+// machine-readable decision log explaining why each candidate was kept or
+// culled, and a given (spec, seed) reproduces the identical trajectory.
+package search
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/config"
+)
+
+// Algorithm names accepted by Strategy.Algorithm.
+const (
+	AlgoRandom    = "random"
+	AlgoHalving   = "halving"
+	AlgoEvolution = "evolution"
+)
+
+// MaxEvaluations bounds one spec's total planned candidate evaluations,
+// for the same reason batch.MaxCells bounds sweep expansion: the ohmserve
+// daemon validates untrusted specs at submission.
+const MaxEvaluations = 4096
+
+// minFidelity floors the instruction budget successive halving assigns to
+// its cheapest rung; below this the twin's inputs stop resembling the
+// workload the full-fidelity rung evaluates.
+const minFidelity = 1000
+
+// Axis declares one searchable override dimension on a dotted config path
+// (see config.OverridePaths for the schema). Exactly one of Values
+// (categorical set) or Min/Max (numeric range) must be given. Integer,
+// uint and duration_ns paths default to Step 1; float paths with Step 0
+// are continuous.
+type Axis struct {
+	// Path is the dotted override path this axis searches.
+	Path string `json:"path"`
+	// Values is a categorical set: candidates take exactly one of these.
+	Values []interface{} `json:"values,omitempty"`
+	// Min and Max bound a numeric range axis (inclusive on both ends).
+	Min *float64 `json:"min,omitempty"`
+	Max *float64 `json:"max,omitempty"`
+	// Step quantizes a range axis; 0 means the path type's default
+	// (1 for integer-like paths, continuous for float paths).
+	Step float64 `json:"step,omitempty"`
+}
+
+// Objective is one term of the fitness function: a report metric, the
+// direction to push it, its weight in the scalarized fitness, and an
+// optional feasibility cap.
+type Objective struct {
+	// Metric names a report metric; see MetricNames.
+	Metric string `json:"metric"`
+	// Goal is "max" or "min"; empty picks the metric's natural direction
+	// (max for throughput, min for everything else).
+	Goal string `json:"goal,omitempty"`
+	// Weight scales this objective's contribution to the scalar fitness;
+	// 0 means 1.
+	Weight float64 `json:"weight,omitempty"`
+	// Cap, when set, is a hard feasibility constraint on the raw metric:
+	// a min-goal metric must stay <= cap, a max-goal metric >= cap.
+	// A value exactly at the cap is feasible. Infeasible candidates are
+	// logged and culled from the frontier but still steer the search.
+	Cap *float64 `json:"cap,omitempty"`
+}
+
+// Strategy selects and parameterizes the search algorithm. Zero values
+// take documented defaults, so {"algorithm":"random"} is a full strategy.
+type Strategy struct {
+	// Algorithm is "random", "halving" or "evolution"; empty means random.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed seeds the search RNG: a given (spec, seed) reproduces the
+	// identical candidate trajectory, frontier and decision log.
+	Seed int64 `json:"seed,omitempty"`
+	// Budget is the candidate count for random search and the initial
+	// pool for successive halving; 0 means 32 (random) / 16 (halving).
+	Budget int `json:"budget,omitempty"`
+	// Generations bounds the evolutionary strategy; 0 means 4.
+	Generations int `json:"generations,omitempty"`
+	// Mu is the parent-elite size of the (μ+λ) strategy; 0 means 4.
+	Mu int `json:"mu,omitempty"`
+	// Lambda is the offspring count per generation; 0 means 8.
+	Lambda int `json:"lambda,omitempty"`
+	// Rungs is the successive-halving rung count; 0 means 3.
+	Rungs int `json:"rungs,omitempty"`
+	// Eta is the halving cull factor (keep ceil(n/eta) per rung) and the
+	// fidelity growth factor between rungs; 0 means 2.
+	Eta int `json:"eta,omitempty"`
+	// ConfirmTop bounds how many frontier points are re-evaluated under
+	// the discrete-event simulator after the search: nil confirms the
+	// whole frontier, 0 disables confirmation, n > 0 confirms the top n
+	// by fitness.
+	ConfirmTop *int `json:"confirm_top,omitempty"`
+}
+
+// Spec is a complete optimizer job: the base scenario every candidate
+// patches, the axes to search, the fitness objectives, and the strategy.
+type Spec struct {
+	// Base is the scenario candidates perturb ({preset, mode, overrides,
+	// workload} — the ohmsim -spec shape). Its mode token's memory mode is
+	// honored; the execution tier is chosen by the optimizer (analytical
+	// inner loop, DES confirmation).
+	Base config.Spec `json:"base"`
+	// Axes are the searched dimensions; at least one.
+	Axes []Axis `json:"axes"`
+	// Objectives define fitness; at least one.
+	Objectives []Objective `json:"objectives"`
+	// Search selects and tunes the algorithm.
+	Search Strategy `json:"search"`
+}
+
+// WithDefaults returns the strategy with zero fields filled in: the exact
+// parameters a run with this strategy uses (Result.Spec echoes this form).
+func (st Strategy) WithDefaults() Strategy {
+	return st.withDefaults()
+}
+
+// withDefaults returns the strategy with zero fields filled in.
+func (st Strategy) withDefaults() Strategy {
+	if st.Algorithm == "" {
+		st.Algorithm = AlgoRandom
+	}
+	if st.Budget <= 0 {
+		if st.Algorithm == AlgoHalving {
+			st.Budget = 16
+		} else {
+			st.Budget = 32
+		}
+	}
+	if st.Generations <= 0 {
+		st.Generations = 4
+	}
+	if st.Mu <= 0 {
+		st.Mu = 4
+	}
+	if st.Lambda <= 0 {
+		st.Lambda = 8
+	}
+	if st.Rungs <= 0 {
+		st.Rungs = 3
+	}
+	if st.Eta <= 1 {
+		st.Eta = 2
+	}
+	return st
+}
+
+// PlannedEvaluations is the number of twin evaluations the search will
+// issue (baseline included, DES confirmations excluded): the admission
+// charge and dry-run cost basis.
+func (s Spec) PlannedEvaluations() int {
+	st := s.Search.withDefaults()
+	switch st.Algorithm {
+	case AlgoEvolution:
+		return 1 + st.Lambda*st.Generations
+	case AlgoHalving:
+		// Each rung also evaluates the baseline at its own fidelity so
+		// rung ranking compares like against like; the full-fidelity
+		// baseline is the shared candidate-0 evaluation.
+		total, n := 0, st.Budget
+		for r := 0; r < st.Rungs && n > 0; r++ {
+			total += n
+			n = (n + st.Eta - 1) / st.Eta
+		}
+		return st.Rungs + total
+	default:
+		return 1 + st.Budget
+	}
+}
+
+// Validate checks the whole spec: the base scenario must resolve, every
+// axis must name a known override path with a well-formed domain, and the
+// objectives must reference known metrics. Errors name the offender.
+func (s Spec) Validate() error {
+	_, err := s.resolve()
+	return err
+}
+
+// resolved is the validated, execution-ready form of a Spec.
+type resolved struct {
+	spec     Spec
+	strategy Strategy
+	scenario config.Scenario
+	axes     []axisDomain
+	objs     []objectiveSpec
+}
+
+// axisDomain is one axis with its sampling domain worked out.
+type axisDomain struct {
+	path string
+	typ  string // OverridePath.Type
+	// categorical
+	values []interface{}
+	// numeric range
+	min, max, step float64
+	continuous     bool
+	n              int // distinct positions for quantized axes
+}
+
+// objectiveSpec is one objective with goal and weight resolved.
+type objectiveSpec struct {
+	metric   string // canonical name
+	maximize bool
+	weight   float64
+	cap      *float64
+}
+
+func (s Spec) resolve() (*resolved, error) {
+	st := s.Search.withDefaults()
+	switch st.Algorithm {
+	case AlgoRandom, AlgoHalving, AlgoEvolution:
+	default:
+		return nil, fmt.Errorf("search: unknown algorithm %q (random|halving|evolution)", st.Algorithm)
+	}
+	if n := s.PlannedEvaluations(); n > MaxEvaluations {
+		return nil, fmt.Errorf("search: strategy plans %d evaluations, more than the %d cap", n, MaxEvaluations)
+	}
+	if st.ConfirmTop != nil && *st.ConfirmTop < 0 {
+		return nil, fmt.Errorf("search: confirm_top must be >= 0")
+	}
+
+	sc, err := s.Base.Resolve()
+	if err != nil {
+		return nil, fmt.Errorf("search: base scenario: %w", err)
+	}
+
+	if len(s.Axes) == 0 {
+		return nil, fmt.Errorf("search: no axes declared (at least one override path to search)")
+	}
+	types := make(map[string]string, 64)
+	for _, p := range config.OverridePaths() {
+		types[p.Path] = p.Type
+	}
+	axes := make([]axisDomain, 0, len(s.Axes))
+	seen := make(map[string]struct{}, len(s.Axes))
+	for _, a := range s.Axes {
+		path := strings.ToLower(strings.TrimSpace(a.Path))
+		typ, ok := types[path]
+		if !ok {
+			return nil, fmt.Errorf("search: axis %q: unknown override path (see ohmbatch -paths)", a.Path)
+		}
+		if _, dup := seen[path]; dup {
+			return nil, fmt.Errorf("search: axis path %q declared twice", path)
+		}
+		seen[path] = struct{}{}
+		if path == "max_instructions" && st.Algorithm == AlgoHalving {
+			return nil, fmt.Errorf("search: axis %q conflicts with successive halving, which uses the instruction budget as its fidelity knob", path)
+		}
+		d := axisDomain{path: path, typ: typ}
+		switch {
+		case len(a.Values) > 0 && (a.Min != nil || a.Max != nil):
+			return nil, fmt.Errorf("search: axis %q: declare values or min/max, not both", path)
+		case len(a.Values) > 0:
+			// Probe every categorical value against a scratch config so a
+			// type mismatch fails at validation, not mid-search.
+			for _, v := range a.Values {
+				probe := sc.Config
+				if err := probe.Set(path, v); err != nil {
+					return nil, fmt.Errorf("search: axis %q value %v: %w", path, v, err)
+				}
+			}
+			d.values = a.Values
+			d.n = len(a.Values)
+		case a.Min != nil && a.Max != nil:
+			if typ == "bool" {
+				return nil, fmt.Errorf("search: axis %q: bool paths need a values list, not a range", path)
+			}
+			d.min, d.max, d.step = *a.Min, *a.Max, a.Step
+			if d.min > d.max {
+				return nil, fmt.Errorf("search: axis %q: min %v > max %v", path, d.min, d.max)
+			}
+			if d.step < 0 {
+				return nil, fmt.Errorf("search: axis %q: negative step", path)
+			}
+			if typ != "float" {
+				// Integer-like paths quantize; a fractional step would
+				// generate values Set round-trips inconsistently.
+				if d.step == 0 {
+					d.step = 1
+				}
+				if d.step != math.Trunc(d.step) {
+					return nil, fmt.Errorf("search: axis %q: step %v must be an integer for %s paths", path, d.step, typ)
+				}
+				if (typ == "uint" || typ == "duration_ns") && d.min < 0 {
+					return nil, fmt.Errorf("search: axis %q: min %v must be non-negative for %s paths", path, d.min, typ)
+				}
+			}
+			if d.step > 0 {
+				d.n = int(math.Floor((d.max-d.min)/d.step)) + 1
+			} else {
+				d.continuous = true
+			}
+			// Probe both endpoints.
+			for _, v := range []float64{d.min, d.max} {
+				probe := sc.Config
+				if err := probe.Set(path, v); err != nil {
+					return nil, fmt.Errorf("search: axis %q bound %v: %w", path, v, err)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("search: axis %q: declare a values list or a min/max range", path)
+		}
+		axes = append(axes, d)
+	}
+
+	if len(s.Objectives) == 0 {
+		return nil, fmt.Errorf("search: no objectives declared (at least one fitness metric)")
+	}
+	objs := make([]objectiveSpec, 0, len(s.Objectives))
+	seenM := make(map[string]struct{}, len(s.Objectives))
+	for _, o := range s.Objectives {
+		metric, defMax, ok := canonicalMetric(o.Metric)
+		if !ok {
+			return nil, fmt.Errorf("search: objective metric %q: unknown (known: %s)", o.Metric, strings.Join(MetricNames(), ", "))
+		}
+		if _, dup := seenM[metric]; dup {
+			return nil, fmt.Errorf("search: objective metric %q declared twice", metric)
+		}
+		seenM[metric] = struct{}{}
+		os := objectiveSpec{metric: metric, maximize: defMax, weight: o.Weight, cap: o.Cap}
+		switch o.Goal {
+		case "":
+		case "max":
+			os.maximize = true
+		case "min":
+			os.maximize = false
+		default:
+			return nil, fmt.Errorf("search: objective %q: goal %q must be \"max\" or \"min\"", metric, o.Goal)
+		}
+		if os.weight < 0 {
+			return nil, fmt.Errorf("search: objective %q: negative weight", metric)
+		}
+		if os.weight == 0 {
+			os.weight = 1
+		}
+		objs = append(objs, os)
+	}
+
+	return &resolved{spec: s, strategy: st, scenario: sc, axes: axes, objs: objs}, nil
+}

@@ -13,11 +13,13 @@ import (
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/search"
 )
 
 // NewHandler returns the daemon's HTTP API:
 //
 //	POST   /v1/sweeps           submit a job (sweep spec, scenario document or experiment id)
+//	POST   /v1/optimize         submit an optimizer job (search spec over override axes)
 //	GET    /v1/jobs             list all jobs
 //	GET    /v1/jobs/{id}        job status with per-cell progress
 //	GET    /v1/jobs/{id}/result finished results (JSON, or CSV for sweeps)
@@ -32,6 +34,9 @@ func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("POST /v1/optimize", func(w http.ResponseWriter, r *http.Request) {
+		handleOptimize(m, w, r)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := m.Jobs()
@@ -192,6 +197,39 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		handleDryRun(w, req)
 		return
 	}
+	submitAndRespond(m, w, tenant, req)
+}
+
+// handleOptimize is POST /v1/optimize: the body is the bare search spec
+// (the `ohmbatch -optimize` file shape); it submits as an optimize job
+// with the same queueing, admission, journaling and cancellation
+// semantics as every other job. ?dry_run=1 validates and prices without
+// enqueueing, like POST /v1/sweeps.
+func handleOptimize(m *Manager, w http.ResponseWriter, r *http.Request) {
+	tenant, err := tenantFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad %s header: %v", TenantHeader, err)
+		return
+	}
+	var spec search.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	req := Request{Optimize: &spec}
+	if dr := r.URL.Query().Get("dry_run"); dr != "" && dr != "0" && dr != "false" {
+		handleDryRun(w, req)
+		return
+	}
+	submitAndRespond(m, w, tenant, req)
+}
+
+// submitAndRespond enqueues a prepared request and renders the shared
+// submission response contract (202 + Location, 429 with Retry-After for
+// admission, 503 for pressure, 400 otherwise).
+func submitAndRespond(m *Manager, w http.ResponseWriter, tenant string, req Request) {
 	job, err := m.SubmitAs(tenant, req)
 	var adm *AdmissionError
 	switch {
@@ -225,10 +263,19 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 // count, the DES/analytical split, and a cost estimate so it can decide
 // whether to submit — or to resubmit the sweep in analytical mode first.
 type dryRunResponse struct {
-	Kind         string             `json:"kind"`
-	Valid        bool               `json:"valid"`
-	DistinctKeys int                `json:"distinct_keys,omitempty"`
-	Cost         batch.CostEstimate `json:"cost"`
+	Kind         string `json:"kind"`
+	Valid        bool   `json:"valid"`
+	DistinctKeys int    `json:"distinct_keys,omitempty"`
+	// Cost is the static estimate for sweep jobs. It is deliberately
+	// absent for experiment and optimize kinds, whose cells are chosen by
+	// the driver/search at run time — a zero-cell estimate here used to
+	// read as "free", which was a lie.
+	Cost *batch.CostEstimate `json:"cost,omitempty"`
+	// PlannedEvaluations is the optimizer's twin-evaluation budget (the
+	// admission charge); frontier points additionally re-run under DES.
+	PlannedEvaluations int `json:"planned_evaluations,omitempty"`
+	// Note explains why a field is absent, for humans reading the body.
+	Note string `json:"note,omitempty"`
 }
 
 // handleDryRun validates a submission without admitting it. Dry runs
@@ -241,14 +288,24 @@ func handleDryRun(w http.ResponseWriter, req Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp := dryRunResponse{Kind: req.Kind(), Valid: true, Cost: batch.EstimateCost(cells)}
-	keys := make(map[string]struct{}, len(cells))
-	for _, c := range cells {
-		if k, err := c.Key(); err == nil {
-			keys[k] = struct{}{}
+	resp := dryRunResponse{Kind: req.Kind(), Valid: true}
+	switch resp.Kind {
+	case "optimize":
+		resp.PlannedEvaluations = req.Optimize.PlannedEvaluations()
+		resp.Note = "planned_evaluations counts analytical-twin evaluations; Pareto-frontier points are additionally confirmed under the event simulator"
+	case "experiment":
+		resp.Note = "experiment cells are chosen by the driver at run time; no static cost estimate exists"
+	default:
+		cost := batch.EstimateCost(cells)
+		resp.Cost = &cost
+		keys := make(map[string]struct{}, len(cells))
+		for _, c := range cells {
+			if k, err := c.Key(); err == nil {
+				keys[k] = struct{}{}
+			}
 		}
+		resp.DistinctKeys = len(keys)
 	}
-	resp.DistinctKeys = len(keys)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -317,6 +374,13 @@ func handleResult(m *Manager, w http.ResponseWriter, r *http.Request) {
 		// interchangeable with locally generated ones.
 		w.Header().Set("Content-Type", "application/json")
 		if err := experiments.EncodeResultJSON(w, job.req.Experiment, job.result); err != nil {
+			writeError(w, http.StatusInternalServerError, "encode result: %v", err)
+		}
+	case st.Kind == "optimize" && format == "json":
+		// The exact bytes `ohmbatch -optimize` prints for the same (spec,
+		// seed), so optimizer results are byte-identical across surfaces.
+		w.Header().Set("Content-Type", "application/json")
+		if err := search.WriteJSON(w, job.optResult); err != nil {
 			writeError(w, http.StatusInternalServerError, "encode result: %v", err)
 		}
 	default:

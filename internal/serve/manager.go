@@ -20,6 +20,7 @@ import (
 	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
@@ -53,10 +54,16 @@ type Request struct {
 	// overrides, workload} — the ohmsim -spec shape); it runs as a one-cell
 	// sweep with the same cache key every other entry point produces.
 	Scenario *config.Spec `json:"scenario,omitempty"`
+	// Optimize is an optimizer job: a search over declared override axes
+	// (POST /v1/optimize's body, also accepted here).
+	Optimize *search.Spec `json:"optimize,omitempty"`
 }
 
-// Kind returns "experiment" or "sweep".
+// Kind returns "experiment", "sweep" or "optimize".
 func (r Request) Kind() string {
+	if r.Optimize != nil {
+		return "optimize"
+	}
 	if r.Spec != nil || r.Scenario != nil {
 		return "sweep"
 	}
@@ -88,8 +95,17 @@ func (r Request) prepare() (Request, []batch.Cell, error) {
 	if r.Scenario != nil {
 		n++
 	}
+	if r.Optimize != nil {
+		n++
+	}
 	if n != 1 {
-		return r, nil, errors.New("serve: request must carry exactly one of \"experiment\", \"spec\" or \"scenario\"")
+		return r, nil, errors.New("serve: request must carry exactly one of \"experiment\", \"spec\", \"scenario\" or \"optimize\"")
+	}
+	if r.Optimize != nil {
+		if err := r.Optimize.Validate(); err != nil {
+			return r, nil, fmt.Errorf("serve: %w", err)
+		}
+		return r, nil, nil
 	}
 	if r.Experiment != "" {
 		// Canonicalize the id (Lookup is case-insensitive) so the job's
@@ -121,6 +137,17 @@ func (r Request) prepare() (Request, []batch.Cell, error) {
 	return r, cells, nil
 }
 
+// admissionUnits is what a request charges against tenant quota: the
+// expanded cell count for sweeps, the planned twin evaluations for
+// optimizer jobs, 0 for experiment jobs (their totals grow as the driver
+// runs).
+func (r Request) admissionUnits(cells []batch.Cell) int {
+	if r.Optimize != nil {
+		return r.Optimize.PlannedEvaluations()
+	}
+	return len(cells)
+}
+
 // Status is a job's externally visible state, served by GET /v1/jobs/{id}.
 // Cell counters give per-cell progress: CellsDone out of CellsTotal, split
 // into CacheHits (served from the result cache or a shared in-flight
@@ -148,6 +175,10 @@ type Status struct {
 	// Timing is the job's machine-readable time breakdown, present once
 	// the job has started; durations are integer nanoseconds.
 	Timing *Timing `json:"timing,omitempty"`
+	// Optimize is the optimizer's phase-level progress (per-generation
+	// counters), present while an optimize job runs and in its final
+	// status.
+	Optimize *search.Progress `json:"optimize,omitempty"`
 }
 
 // Timing answers "where did this job's time go" from GET /v1/jobs/{id}
@@ -203,10 +234,14 @@ type Job struct {
 	span       *obs.JobSpan // per-job cell timing; set when the job starts
 
 	// Results: sweep jobs keep cells+reports (for JSON and CSV rendering);
-	// experiment jobs keep the driver's typed result.
-	cells   []batch.Cell
-	reports []stats.Report
-	result  experiments.Result
+	// experiment jobs keep the driver's typed result; optimize jobs keep
+	// the search result (frontier + decision log) and the latest
+	// phase-level progress snapshot.
+	cells       []batch.Cell
+	reports     []stats.Report
+	result      experiments.Result
+	optResult   *search.Result
+	optProgress *search.Progress
 }
 
 // ID returns the job's identifier.
@@ -249,6 +284,10 @@ func (j *Job) Status() Status {
 	if !j.finished.IsZero() {
 		t := j.finished
 		s.Finished = &t
+	}
+	if j.optProgress != nil {
+		p := *j.optProgress
+		s.Optimize = &p
 	}
 	return s
 }
@@ -464,7 +503,8 @@ func (m *Manager) SubmitAs(tenantName string, req Request) (*Job, error) {
 	}
 	// Admission runs after the cheap structural checks so a full queue
 	// answers 503 (server pressure) rather than charging tenant tokens.
-	if err := m.Admission.Admit(tenantName, len(cells)); err != nil {
+	units := req.admissionUnits(cells)
+	if err := m.Admission.Admit(tenantName, units); err != nil {
 		return nil, err
 	}
 	m.seq++
@@ -473,7 +513,7 @@ func (m *Manager) SubmitAs(tenantName string, req Request) (*Job, error) {
 		req:      req,
 		orig:     orig,
 		tenant:   tenantName,
-		admCells: len(cells),
+		admCells: units,
 		state:    StateQueued,
 		created:  time.Now().UTC(),
 	}
@@ -659,7 +699,27 @@ func (m *Manager) run(job *Job) {
 	}
 
 	var err error
-	if job.req.Spec != nil {
+	if job.req.Optimize != nil {
+		// The optimizer submits successive evaluation batches through the
+		// shared executor exactly like an experiment driver, so the cell
+		// counters accumulate through the same progress closure; OnPhase
+		// additionally surfaces per-generation search progress.
+		var res *search.Result
+		res, err = search.Run(ctx, *job.req.Optimize, search.Options{
+			Executor: m.executor(),
+			Progress: progress,
+			OnPhase: func(p search.Progress) {
+				job.mu.Lock()
+				job.optProgress = &p
+				job.mu.Unlock()
+			},
+		})
+		if err == nil {
+			job.mu.Lock()
+			job.optResult = res
+			job.mu.Unlock()
+		}
+	} else if job.req.Spec != nil {
 		// Re-expansion of the submit-validated spec (Submit dropped the
 		// cells to keep queued jobs small); it cannot fail differently
 		// than it did at validation, but the error path stays honest.
@@ -739,7 +799,7 @@ func (m *Manager) run(job *Job) {
 func (j *Job) hasResult() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.result != nil || j.reports != nil
+	return j.result != nil || j.reports != nil || j.optResult != nil
 }
 
 // compactJournal rewrites the journal as one record per remembered job:
@@ -815,8 +875,11 @@ func (m *Manager) Recover(replayed []ReplayedJob) {
 				// Archived records drop the request; keep Kind honest by
 				// reconstructing the minimal shape Status needs.
 				job.req = Request{Experiment: r.Experiment}
-				if r.Kind == "sweep" {
+				switch r.Kind {
+				case "sweep":
 					job.req = Request{Spec: &batch.SweepSpec{}}
+				case "optimize":
+					job.req = Request{Optimize: &search.Spec{}}
 				}
 			}
 			job.cellsDone, job.cellsTotal = r.Done, r.Total
@@ -853,7 +916,7 @@ func (m *Manager) Recover(replayed []ReplayedJob) {
 		}
 		job.req = req
 		job.state = StateQueued
-		job.admCells = len(cells)
+		job.admCells = req.admissionUnits(cells)
 		// Re-count quota without charging rate tokens: replay is the
 		// server's doing, not client traffic.
 		m.Admission.Restore(job.tenant, job.admCells)

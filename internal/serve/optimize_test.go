@@ -1,0 +1,194 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/search"
+	"repro/internal/stats"
+)
+
+// optimizeBody is a small real spec: analytical-twin evaluations over two
+// axes, one DES confirmation, fidelity capped so the whole job runs in
+// well under a second.
+const optimizeBody = `{
+  "base": {"preset": "ohm-bw", "mode": "two-level", "workload": "pagerank",
+           "overrides": {"max_instructions": 3000}},
+  "axes": [
+    {"path": "optical.waveguides", "min": 1, "max": 8},
+    {"path": "gpu.mshr_entries", "values": [8, 16, 32]}
+  ],
+  "objectives": [{"metric": "throughput"}, {"metric": "energy_pj"}],
+  "search": {"algorithm": "random", "seed": 3, "budget": 6, "confirm_top": 1}
+}`
+
+// TestOptimizeEndToEnd submits an optimizer job over HTTP, watches the
+// per-generation progress surface, and requires the result bytes to be
+// identical to what search.Run produces in-process for the same spec —
+// the same contract `ohmbatch -optimize` is pinned to.
+func TestOptimizeEndToEnd(t *testing.T) {
+	runner := batch.NewRunner(4, batch.NewMemCache())
+	a := newAPI(t, runner, 2, 16)
+
+	// Dry run: priced by planned twin evaluations (1 baseline + budget),
+	// no static cell-cost estimate (serve half of the dry-run bugfix).
+	code, data := a.do("POST", "/v1/optimize?dry_run=1", optimizeBody)
+	if code != http.StatusOK {
+		t.Fatalf("dry run = %d: %s", code, data)
+	}
+	var dry struct {
+		Kind               string              `json:"kind"`
+		PlannedEvaluations int                 `json:"planned_evaluations"`
+		Cost               *batch.CostEstimate `json:"cost"`
+	}
+	if err := json.Unmarshal(data, &dry); err != nil {
+		t.Fatal(err)
+	}
+	if dry.Kind != "optimize" || dry.PlannedEvaluations != 7 {
+		t.Fatalf("dry run = %+v, want kind=optimize planned=7", dry)
+	}
+	if dry.Cost != nil {
+		t.Fatalf("dry run priced an optimizer job with a static cell estimate: %+v", dry.Cost)
+	}
+
+	code, data = a.do("POST", "/v1/optimize", optimizeBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", code, data)
+	}
+	var st Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != "optimize" {
+		t.Fatalf("submitted kind = %q, want optimize", st.Kind)
+	}
+	final := a.wait(st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job = %+v", final)
+	}
+	if final.Optimize == nil || final.Optimize.Evaluated == 0 || final.Optimize.FrontierSize == 0 {
+		t.Fatalf("terminal status lacks optimizer progress: %+v", final.Optimize)
+	}
+
+	code, got := a.do("GET", "/v1/jobs/"+st.ID+"/result", "")
+	if code != http.StatusOK {
+		t.Fatalf("result = %d: %s", code, got)
+	}
+
+	// Reference: the same spec through search.Run on a fresh runner and
+	// cold cache must produce the exact bytes the server returned.
+	var spec search.Spec
+	if err := json.Unmarshal([]byte(optimizeBody), &spec); err != nil {
+		t.Fatal(err)
+	}
+	ref := batch.NewRunner(4, batch.NewMemCache())
+	res, err := search.Run(context.Background(), spec, search.Options{
+		Executor: batch.LocalExecutor{Runner: ref},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := search.WriteJSON(&want, res); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("served optimizer result differs from in-process search.Run (%d vs %d bytes)",
+			len(got), want.Len())
+	}
+
+	// An identical resubmit reuses the mode-salted cache: done again,
+	// byte-identical.
+	code, data = a.do("POST", "/v1/optimize", optimizeBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit = %d: %s", code, data)
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	if f := a.wait(st.ID); f.State != StateDone {
+		t.Fatalf("warm job = %+v", f)
+	}
+	_, got2 := a.do("GET", "/v1/jobs/"+st.ID+"/result", "")
+	if !bytes.Equal(got2, got) {
+		t.Fatal("warm optimizer rerun bytes differ")
+	}
+}
+
+// gatedExecutor passes batches through to the wrapped executor only after
+// gate closes; entered is signaled when a batch arrives, so a test can
+// cancel a job that is provably mid-generation.
+type gatedExecutor struct {
+	inner   batch.Executor
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (g *gatedExecutor) RunContext(ctx context.Context, cells []batch.Cell, progress batch.Progress) ([]stats.Report, error) {
+	select {
+	case g.entered <- struct{}{}:
+	default:
+	}
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return g.inner.RunContext(ctx, cells, progress)
+}
+
+// TestOptimizeCancelMidGeneration cancels an optimizer job while a
+// generation batch is in flight: the job must land in cancelled (not
+// failed), and the worker slot must come free for the next job.
+func TestOptimizeCancelMidGeneration(t *testing.T) {
+	runner := batch.NewRunner(2, batch.NewMemCache())
+	runner.RunFn = fakeRun
+	m := NewManager(runner, 1, 8)
+	gated := &gatedExecutor{
+		inner:   batch.LocalExecutor{Runner: runner},
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 1),
+	}
+	m.Executor = gated
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m.Shutdown(ctx)
+	})
+
+	var spec search.Spec
+	if err := json.Unmarshal([]byte(optimizeBody), &spec); err != nil {
+		t.Fatal(err)
+	}
+	job, err := m.Submit(Request{Optimize: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-gated.entered:
+	case <-time.After(30 * time.Second):
+		t.Fatal("optimizer never reached its first batch")
+	}
+	if !m.Cancel(job.ID()) {
+		t.Fatalf("cancel %s returned false", job.ID())
+	}
+	st := waitStatus(t, job, "cancelled", func(st Status) bool { return st.State.Terminal() })
+	if st.State != StateCancelled {
+		t.Fatalf("mid-generation cancel = %+v, want cancelled", st)
+	}
+	close(gated.gate) // later jobs flow through the executor unhindered
+
+	// The slot is free: a small sweep completes after the cancellation.
+	next, err := m.Submit(Request{Spec: specOf(t, `{"platforms":["oracle"],"modes":["planar"],"workloads":["lud"]}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitStatus(t, next, "done", func(st Status) bool { return st.State.Terminal() }); st.State != StateDone {
+		t.Fatalf("job after cancel = %+v", st)
+	}
+}

@@ -325,3 +325,130 @@ func bytesEqual(a, b []byte) bool {
 	}
 	return true
 }
+
+// TestRecoverReplaysCombinedModeJob is the regression for the
+// analytical-mode replay bug class: a combined-mode sweep (DES rows plus
+// "+analytical" rows) wedged mid-sweep must come back from the journal
+// with its execution modes intact. Cell.Exec and SweepSpec.Execs are
+// json:"-" — the modes survive only because the spec folds them into the
+// wire "modes" tokens ("planar+analytical") — so a serialization slip
+// here would silently replay the analytical half of the grid through the
+// event simulator and produce wrong (and 1000x slower) rows under the
+// analytical label.
+func TestRecoverReplaysCombinedModeJob(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	cacheDir := filepath.Join(dir, "cache")
+
+	// Cell order is mode-major: [DES lud, DES sssp, ANA lud, ANA sssp]
+	// on one worker. The first DES cell completes (and lands in the disk
+	// cache); the second wedges; the analytical cells never start before
+	// the "crash".
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	wedgedRun := func(cfg config.Config, w string) (stats.Report, error) {
+		if calls.Add(1) > 1 {
+			<-gate
+		}
+		return fakeRun(cfg, w)
+	}
+	dc1, err := batch.NewDiskCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, replayed, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 0 {
+		t.Fatalf("fresh journal replayed %d jobs", len(replayed))
+	}
+	runner1 := &batch.Runner{Workers: 1, Cache: dc1, RunFn: wedgedRun}
+	m1 := NewManager(runner1, 1, 8)
+	m1.Journal = j1
+	t.Cleanup(func() {
+		close(gate)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m1.Shutdown(ctx)
+	})
+
+	spec := `{"platforms":["ohm-base"],"modes":["planar","planar+analytical"],"workloads":["lud","sssp"]}`
+	job, err := m1.SubmitAs("carol", Request{Spec: specOf(t, spec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, job, "1 cell done", func(st Status) bool { return st.CellsDone == 1 })
+
+	// "kill -9": abandon m1, reopen the journal cold.
+	j2, replayed, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replayed) != 1 {
+		t.Fatalf("replayed %d jobs, want 1", len(replayed))
+	}
+
+	var freshDES atomic.Int64
+	dc2, err := batch.NewDiskCache(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner2 := &batch.Runner{Workers: 2, Cache: dc2, RunFn: func(cfg config.Config, w string) (stats.Report, error) {
+		freshDES.Add(1)
+		return fakeRun(cfg, w)
+	}}
+	m2 := NewManager(runner2, 1, 8)
+	m2.Journal = j2
+	m2.Recover(replayed)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		m2.Shutdown(ctx)
+		j2.Close()
+	})
+
+	got, ok := m2.Get(job.ID())
+	if !ok {
+		t.Fatalf("in-flight combined-mode job %s lost in replay", job.ID())
+	}
+	// The re-prepared request must carry the original execution modes.
+	// Execs is json:"-", so this survives only through the wire "modes"
+	// tokens — if the journal round-trip dropped them, both entries
+	// would be DES.
+	if rs := got.req.Spec; rs == nil || len(rs.Execs) != 2 || rs.Execs[1] != config.ExecAnalytical {
+		t.Fatalf("replayed spec execs = %+v, want [des analytical] (exec modes lost in the journal round-trip)", got.req.Spec)
+	}
+
+	st := waitStatus(t, got, "done after replay", func(st Status) bool { return st.State.Terminal() })
+	// The executed grid carried the modes through to the cells: two DES,
+	// two analytical (terminal jobs keep their cells for the result
+	// encoder, so this is safe to read now).
+	var ana int
+	for _, c := range got.cells {
+		if c.Exec == config.ExecAnalytical {
+			ana++
+		}
+	}
+	if ana != 2 {
+		t.Fatalf("replayed grid ran %d analytical cells, want 2", ana)
+	}
+	if st.State != StateDone {
+		t.Fatalf("replayed combined-mode job = %+v", st)
+	}
+	// The crash-completed DES cell comes from the cache; the other DES
+	// cell simulates; both analytical cells estimate through the twin —
+	// never through RunFn.
+	if st.CacheHits != 1 || st.Simulated != 3 {
+		t.Fatalf("replayed job hits=%d sim=%d, want 1 and 3", st.CacheHits, st.Simulated)
+	}
+	if got := freshDES.Load(); got != 1 {
+		t.Fatalf("restart ran %d cells through RunFn, want 1 (analytical cells must use the twin)", got)
+	}
+	if st.Timing == nil || st.Timing.AnalyticalCells != 2 {
+		t.Fatalf("replayed job timing = %+v, want analytical_cells=2", st.Timing)
+	}
+	if rs := runner2.Stats(); rs.Analytical != 2 {
+		t.Fatalf("runner resolved %d analytical cells after replay, want 2", rs.Analytical)
+	}
+}

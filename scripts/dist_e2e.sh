@@ -16,7 +16,10 @@
 #      dir + journal, replays the in-flight job under its original id: the
 #      surviving worker re-registers, pre-crash cells come from the cache,
 #      and the result is byte-identical to a single-process run;
-#   6. a coordinator restarted with a tight per-tenant rate answers
+#   6. an optimizer job (POST /v1/optimize) run against the 2-worker
+#      cluster returns bytes identical to `ohmbatch -optimize` on the same
+#      spec, with the mode-split completion counters accounted;
+#   7. a coordinator restarted with a tight per-tenant rate answers
 #      over-quota submissions 429 + Retry-After (admission metrics
 #      accounted), and a tight -cache-max-bytes budget evicts on startup
 #      (eviction metrics accounted).
@@ -91,10 +94,27 @@ for line in sys.stdin:
         break
 print(v)' "$2"
 }
+# msum <base-url> <family> -> sum over every series of the family,
+# labeled or not (ohm_cells_completed_total is split by {mode=...}).
+msum() {
+    curl -fsS "$1/metrics" | python3 -c '
+import sys
+name = sys.argv[1]
+tot = 0.0
+for line in sys.stdin:
+    if line.startswith(name + "{") or line.startswith(name + " "):
+        tot += float(line.rsplit(" ", 1)[1])
+print(int(tot) if tot == int(tot) else tot)' "$2"
+}
 # assert_ge <value> <floor> <label>
 assert_ge() {
     python3 -c 'import sys; sys.exit(0 if float(sys.argv[1]) >= float(sys.argv[2]) else 1)' "$1" "$2" ||
         { echo "metric $3 = $1, want >= $2" >&2; exit 1; }
+}
+# assert_eq <value> <want> <label>
+assert_eq() {
+    python3 -c 'import sys; sys.exit(0 if float(sys.argv[1]) == float(sys.argv[2]) else 1)' "$1" "$2" ||
+        { echo "metric $3 = $1, want exactly $2" >&2; exit 1; }
 }
 # check_expo <base-url> <label>: the body must be well-formed Prometheus
 # text — every sample line parses and every family has HELP and TYPE.
@@ -145,6 +165,9 @@ curl -fsS "$base/v1/jobs/$job/result" >"$work/fig16.dist.json"
 "$work/ohmfig" -quick -json fig16 >"$work/fig16.local.json"
 cmp "$work/fig16.dist.json" "$work/fig16.local.json"
 echo "   byte-identical ($(wc -c <"$work/fig16.dist.json") bytes)"
+# Snapshot the coordinator's mode-split completion counter before the
+# warm rerun: the exactly-once assert below checks the delta.
+cold_cc=$(msum "$base" ohm_cells_completed_total)
 
 echo "== 2. warm resubmit answers from the coordinator cache"
 job=$(submit '{"experiment":"fig16","params":{"quick":true}}')
@@ -168,7 +191,15 @@ assert_ge "$(mval "$base" ohm_dist_remote_completed_total)" 1 ohm_dist_remote_co
 assert_ge "$(mval "$base" ohm_dist_workers_connected)" 2 ohm_dist_workers_connected
 assert_ge "$(mval "$base" ohm_dist_cache_hits_total)" "$warm_cells" ohm_dist_cache_hits_total
 assert_ge "$(mval "$base" 'ohm_jobs_finished_total{state="done"}')" 2 'ohm_jobs_finished_total{state=done}'
+# Mode-split completion accounting must neither drop nor double for
+# cluster-resolved cells: the cold run counted nothing here (every cell
+# executed — and was counted — on a worker), and the warm run resolved
+# every cell through the dispatcher's cache fast path, each of which must
+# land in ohm_cells_completed{mode} exactly once.
+warm_cc=$(msum "$base" ohm_cells_completed_total)
+assert_eq "$((warm_cc - cold_cc))" "$warm_cells" "coordinator ohm_cells_completed delta over warm rerun"
 echo "   leases granted, remote completions and $warm_cells+ cache hits accounted"
+echo "   warm rerun counted exactly once in ohm_cells_completed ($cold_cc -> $warm_cc)"
 
 echo "== 3. kill -9 one worker mid-sweep"
 # Cells sized to run ~1-2s each so every worker is provably mid-cell when
@@ -194,7 +225,10 @@ echo "== metrics: worker-side counters consistent with the job results"
 # w2 is the only runner left (pure dispatcher + dead w1): it must have
 # completed cells, and the kill must show up as expired leases + requeues
 # on the coordinator.
-assert_ge "$(mval "$w2metrics" ohm_cells_completed_total)" 1 "worker ohm_cells_completed_total"
+# The completion counter is split by execution mode; a worker runs DES
+# cells, so the labeled series must be live (the unlabeled family name
+# alone matches nothing since the mode label was added).
+assert_ge "$(mval "$w2metrics" 'ohm_cells_completed_total{mode="des"}')" 1 'worker ohm_cells_completed_total{mode=des}'
 assert_ge "$(mval "$base" ohm_dist_leases_expired_total)" 1 ohm_dist_leases_expired_total
 assert_ge "$(mval "$base" ohm_dist_requeued_total)" 1 ohm_dist_requeued_total
 echo "   worker completions, lease expiries and requeues all visible"
@@ -233,7 +267,31 @@ cmp "$work/replayed.dist.json" "$work/replayed.local.json"
 echo "   replayed with $hits pre-crash cells from cache; bytes identical to ohmbatch"
 assert_ge "$(mval "$base" 'ohm_journal_replayed_jobs_total{disposition="requeued"}')" 1 'ohm_journal_replayed_jobs_total{disposition=requeued}'
 
-echo "== 5. over-quota submissions answer 429; tight cache budget evicts"
+echo "== 5. optimizer job across 2 workers vs single-process ohmbatch -optimize"
+# Restore a 2-worker cluster (w1 died in phase 3): the optimizer's
+# analytical inner loop runs on the coordinator, but its DES confirmation
+# cells are keyed and must travel through the dispatcher. The frontier —
+# and the full decision log — must come out byte-identical to a
+# single-process run of the same spec from a cold cache.
+"$work/ohmserve" -worker -join "$base" -worker-name w3 -cache "$work/w3-cache" >"$work/w3.log" 2>&1 &
+pids+=($!)
+optspec="examples/specs/optimize-throughput.json"
+"$work/ohmbatch" -optimize "$optspec" -cache "$work/opt-cache" -q -o "$work/opt.local.json"
+job=$(curl -fsS -X POST "$base/v1/optimize" -d @"$optspec" |
+    python3 -c 'import sys,json; print(json.load(sys.stdin)["id"])')
+wait_done "$job" 300
+curl -fsS "$base/v1/jobs/$job/result" >"$work/opt.dist.json"
+cmp "$work/opt.dist.json" "$work/opt.local.json"
+frontier=$(python3 -c 'import json,sys; r=json.load(open(sys.argv[1])); print(len(r["frontier"]))' "$work/opt.dist.json")
+assert_ge "$frontier" 1 "optimizer frontier size"
+# The optimizer's evaluations are analytical-twin cells resolved on the
+# coordinator; the mode-split counter must carry them under
+# {mode="analytical"} (the dispatcher short-circuits analytical cells to
+# the local runner, and that path must not drop them).
+assert_ge "$(mval "$base" 'ohm_cells_completed_total{mode="analytical"}')" 1 'coordinator ohm_cells_completed_total{mode=analytical}'
+echo "   optimizer result byte-identical to single-process ($frontier frontier points)"
+
+echo "== 6. over-quota submissions answer 429; tight cache budget evicts"
 kill -9 "$coord" 2>/dev/null || true
 wait "$coord" 2>/dev/null || true
 start_coord -tenant-rate 0.001 -tenant-burst 2 -cache-max-bytes 4KB
